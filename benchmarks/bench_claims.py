@@ -1,0 +1,19 @@
+"""Benchmark: verify every quantitative claim of the paper.
+
+This is the repository's reproduction statement in one test: all of the
+paper's claims, regenerated from the library and checked against the
+bands documented in EXPERIMENTS.md.
+"""
+
+from repro.bench.claims import PAPER_CLAIMS, format_claim_results, verify_claims
+
+
+def test_all_paper_claims(benchmark, output_dir):
+    pairs = benchmark.pedantic(verify_claims, rounds=1, iterations=1)
+    text = format_claim_results(pairs)
+    (output_dir / "claims.txt").write_text(text + "\n")
+    print(text)
+
+    failures = [c.claim_id for c, r in pairs if not r.supported]
+    assert not failures, "diverging claims: %s" % failures
+    assert len(pairs) == len(PAPER_CLAIMS)

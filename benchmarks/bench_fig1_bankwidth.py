@@ -1,0 +1,30 @@
+"""Benchmark: regenerate paper Fig. 1 (shared-memory access patterns).
+
+Paper claim: matching the per-thread data width to the 8-byte Kepler
+bank width doubles the effective shared-memory bandwidth.
+"""
+
+import pytest
+
+from repro.bench.figures import fig1_bank_patterns
+from repro.core.bankwidth import smem_bandwidth_gain
+from repro.gpu.arch import FERMI_M2090, KEPLER_K40M
+
+
+def test_fig1_bank_patterns(benchmark, save_experiment):
+    exp = benchmark(fig1_bank_patterns)
+    save_experiment(exp)
+
+    paper_row = next(r for r in exp.rows if "paper" in r.label)
+    assert paper_row.values["conventional"] == 2.0
+    assert paper_row.values["matched"] == 1.0
+
+
+def test_fig1_bandwidth_gain_is_two_on_kepler(benchmark):
+    gain = benchmark(smem_bandwidth_gain, KEPLER_K40M, 4)
+    assert gain == pytest.approx(2.0)
+
+
+def test_fig1_no_gain_on_fermi(benchmark):
+    gain = benchmark(smem_bandwidth_gain, FERMI_M2090, 4)
+    assert gain == pytest.approx(1.0)

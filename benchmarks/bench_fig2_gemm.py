@@ -1,0 +1,39 @@
+"""Benchmark: regenerate paper Fig. 2 (SGEMM: cuBLAS vs MAGMA vs the
+bank-width-matched MAGMA modification, square dims 2K-8K on Kepler).
+
+Paper claims: MAGMA (tuned for Fermi) is 2.4x slower than cuBLAS on
+Kepler; matching W_CD to the 8-byte banks saves 36% of MAGMA's time.
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig2_gemm
+from repro.bench.report import summarize_ratio
+from repro.gpu.arch import FERMI_M2090
+
+
+def test_fig2_kepler(benchmark, save_experiment):
+    exp = benchmark(fig2_gemm)
+    save_experiment(exp)
+
+    # Ordering holds at every dimension.
+    for row in exp.rows:
+        assert row.values["cuBLAS"] < row.values["MAGMA mod."] < row.values["MAGMA"]
+
+    # MAGMA's slowdown is in the paper's regime (2.4x reported).
+    slowdown = summarize_ratio(exp, "MAGMA", "cuBLAS")
+    assert 1.6 < slowdown["mean"] < 3.2
+
+    # The modification saves a large fraction of MAGMA's time (36%).
+    savings = [1 - r.values["MAGMA mod."] / r.values["MAGMA"] for r in exp.rows]
+    assert 0.25 < np.mean(savings) < 0.55
+
+
+def test_fig2_fermi_control(benchmark, save_experiment):
+    """On Fermi the MAGMA kernel is competitive — the slowdown is a
+    Kepler bank-width artifact, not a bad kernel."""
+    exp = benchmark(fig2_gemm, FERMI_M2090)
+    exp.exp_id = "fig2-fermi"
+    save_experiment(exp)
+    ratio = summarize_ratio(exp, "MAGMA", "cuBLAS")
+    assert ratio["mean"] < 1.25

@@ -1,0 +1,46 @@
+"""Benchmark: regenerate paper Fig. 8 (general case vs cuDNN).
+
+Paper claims: 30.5% / 45.3% / 30.8% average improvement for 3x3 / 5x5 /
+7x7 (35.5% overall); losses possible only on very small (32x32) images;
+peak throughput 2020 GFlop/s (47% of the K40m's peak).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig8_general
+from repro.bench.report import summarize_ratio
+
+
+@pytest.mark.parametrize("kernel_size", [3, 5, 7], ids=["3x3", "5x5", "7x7"])
+def test_fig8(benchmark, save_experiment, kernel_size):
+    exp = benchmark(fig8_general, kernel_size)
+    save_experiment(exp)
+
+    gain = summarize_ratio(exp, "ours", "cuDNN")
+    assert 0.10 < gain["mean"] - 1 < 0.80
+
+    # Losses, where they occur, are confined to small images (the
+    # paper's 32x32 caveat; see EXPERIMENTS.md for the K=7 note).
+    for row in exp.rows:
+        ratio = row.ratio("ours", "cuDNN")
+        if ratio < 0.95:
+            assert "N=32," in row.label or "N=64," in row.label
+            assert ratio > (0.60 if "N=32," in row.label else 0.85)
+
+
+def test_fig8_overall_average(benchmark):
+    def build():
+        return [fig8_general(k).mean_ratio("ours", "cuDNN") for k in (3, 5, 7)]
+
+    means = benchmark(build)
+    overall = float(np.mean(means)) - 1
+    # Paper: 35.5% overall.
+    assert 0.20 < overall < 0.55
+
+
+def test_fig8_peak_throughput(benchmark):
+    exp = benchmark(fig8_general, 3)
+    peak = max(exp.series("ours"))
+    # Paper: 2020 GFlop/s peak — 47% of the 4290 GFlop/s machine peak.
+    assert 1700 < peak < 3000

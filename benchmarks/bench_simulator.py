@@ -1,0 +1,70 @@
+"""Benchmarks of the simulation substrate itself: how fast the
+functional executors and the tracing/timing pipeline run on the host.
+These are the numbers a user of the library cares about when scaling
+experiments (wall-clock per simulated kernel launch)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.implicit_gemm import ImplicitGemmKernel
+from repro.conv.tensors import ConvProblem
+from repro.core.general import GeneralCaseKernel
+from repro.core.special import SpecialCaseKernel
+
+
+@pytest.fixture(scope="module")
+def special_instance():
+    rng = np.random.default_rng(0)
+    img = rng.standard_normal((256, 512)).astype(np.float32)
+    flt = rng.standard_normal((4, 3, 3)).astype(np.float32)
+    return img, flt
+
+
+@pytest.fixture(scope="module")
+def general_instance():
+    rng = np.random.default_rng(1)
+    img = rng.standard_normal((8, 36, 36)).astype(np.float32)
+    flt = rng.standard_normal((16, 8, 3, 3)).astype(np.float32)
+    return img, flt
+
+
+def test_special_functional_execution(benchmark, special_instance):
+    img, flt = special_instance
+    kern = SpecialCaseKernel()
+    out = benchmark(kern.run, img, flt)
+    assert out.shape == (4, 254, 510)
+
+
+def test_general_functional_execution(benchmark, general_instance):
+    img, flt = general_instance
+    kern = GeneralCaseKernel()
+    out = benchmark(kern.run, img, flt)
+    assert out.shape == (16, 34, 34)
+
+
+def test_special_cost_tracing(benchmark):
+    kern = SpecialCaseKernel()
+    p = ConvProblem.square(2048, 3, channels=1, filters=32)
+    cost = benchmark(kern.cost, p)
+    assert cost.flops >= p.flops
+
+
+def test_general_cost_tracing(benchmark):
+    kern = GeneralCaseKernel()
+    p = ConvProblem.square(224, 3, channels=64, filters=128)
+    cost = benchmark(kern.cost, p)
+    assert cost.flops >= p.flops
+
+
+def test_implicit_gemm_cost_with_tile_selection(benchmark):
+    kern = ImplicitGemmKernel()
+    p = ConvProblem.square(128, 3, channels=64, filters=128)
+    cost = benchmark(kern.cost, p)
+    assert cost.flops >= p.flops
+
+
+def test_end_to_end_prediction(benchmark):
+    kern = GeneralCaseKernel()
+    p = ConvProblem.square(128, 5, channels=64, filters=128)
+    gflops = benchmark(kern.gflops, p)
+    assert gflops > 0

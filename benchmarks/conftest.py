@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+library and (a) measures how long the regeneration takes with
+pytest-benchmark, (b) asserts the paper's qualitative shape, and
+(c) writes the rendered table to ``benchmarks/output/`` so the numbers
+land in EXPERIMENTS.md without manual copying.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench.report import format_experiment
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_experiment(output_dir):
+    """Write an experiment's table (txt + csv + json) next to the
+    benchmark results, for humans and for downstream analysis."""
+
+    def _save(exp, precision=1):
+        text = format_experiment(exp, precision=precision)
+        (output_dir / ("%s.txt" % exp.exp_id)).write_text(text + "\n")
+        (output_dir / ("%s.csv" % exp.exp_id)).write_text(exp.to_csv())
+        (output_dir / ("%s.json" % exp.exp_id)).write_text(exp.to_json() + "\n")
+        return text
+
+    return _save

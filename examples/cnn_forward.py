@@ -1,0 +1,83 @@
+"""CNN forward pass: time a VGG-like convolutional stack with every
+implemented method — the deep-learning workload the paper's general-case
+kernel targets (Sec. 4 / Fig. 8).
+
+Functional correctness is verified on a scaled-down copy of the first
+layer; the per-layer timing table uses the modeled Kepler K40m.
+
+Run:  python examples/cnn_forward.py
+"""
+
+import numpy as np
+
+from repro import GeneralCaseKernel, conv2d_reference
+from repro.baselines import (
+    FFTConvolution,
+    Im2colKernel,
+    ImplicitGemmKernel,
+    NaiveDirectKernel,
+    WinogradConvolution,
+)
+from repro.conv.workloads import vgg_layers
+
+METHODS = [
+    ("ours (direct)", GeneralCaseKernel()),
+    ("cuDNN-like", ImplicitGemmKernel()),
+    ("im2col+GEMM", Im2colKernel()),
+    ("naive direct", NaiveDirectKernel()),
+    ("FFT", FFTConvolution()),
+    ("Winograd", WinogradConvolution()),
+]
+
+
+def verify_small_layer():
+    """All methods must agree bit-for-bit (to fp32 tolerance)."""
+    rng = np.random.default_rng(11)
+    img = rng.standard_normal((8, 34, 34)).astype(np.float32)
+    flt = rng.standard_normal((16, 8, 3, 3)).astype(np.float32)
+    ref = conv2d_reference(img, flt)
+    for name, kernel in METHODS:
+        err = float(np.abs(kernel.run(img, flt) - ref).max())
+        status = "ok" if err < 1e-2 else "MISMATCH"
+        print("  %-14s max|err| %.1e  %s" % (name, err, status))
+        assert err < 1e-2
+
+
+def main():
+    print("verifying all methods on a small layer:")
+    verify_small_layer()
+
+    print("\nmodeled per-layer time on the simulated K40m [ms]")
+    header = "%-14s" % "layer" + "".join("%14s" % n for n, _ in METHODS)
+    print(header)
+    print("-" * len(header))
+    totals = {name: 0.0 for name, _ in METHODS}
+    for point in vgg_layers():
+        cells = ["%-14s" % point.label.replace("vgg.", "")]
+        for name, kernel in METHODS:
+            t = kernel.predict(point.problem).total * 1e3
+            totals[name] += t
+            cells.append("%14.3f" % t)
+        print("".join(cells))
+    print("-" * len(header))
+    print("".join(["%-14s" % "total"] + ["%14.3f" % totals[n] for n, _ in METHODS]))
+
+    ours = totals["ours (direct)"]
+    cudnn = totals["cuDNN-like"]
+    print("\nstack speedup over cuDNN-like: %.2fx "
+          "(paper Fig. 8: +35.5%% on average)" % (cudnn / ours))
+
+    # Where the kernels sit on the machine's roofline (conv3_2).
+    from repro.bench.roofline import roofline_report
+    from repro.baselines import NaiveDirectKernel
+
+    print()
+    print(roofline_report(
+        {"ours": GeneralCaseKernel(), "cuDNN-like": ImplicitGemmKernel(),
+         "naive": NaiveDirectKernel()},
+        vgg_layers()[2].problem,
+    ))
+
+
+if __name__ == "__main__":
+    main()

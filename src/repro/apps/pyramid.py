@@ -1,0 +1,132 @@
+"""Gaussian and Laplacian image pyramids on the special-case kernel.
+
+Pyramids are the workhorse of classical image processing (blending,
+compression, multi-scale detection) and consist of exactly the
+operation the paper's special-case kernel optimizes: a small fixed
+filter convolved over a single-channel image, repeatedly.  Each level
+smooths with the 5x5 binomial kernel and decimates by two; the
+Laplacian pyramid stores the per-level residuals and reconstructs the
+input exactly.
+
+The cost model composes the per-level traced convolution costs — a
+geometric series that converges to ~4/3 of the base level's cost, which
+the tests check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.conv.tensors import ConvProblem, Padding
+from repro.core.special import SpecialCaseKernel
+from repro.errors import ConfigurationError, ShapeError
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.gpu.memory.banks import BankConflictPolicy
+from repro.gpu.timing import TimingBreakdown, TimingModel
+from repro.gpu.trace import KernelCost
+
+__all__ = ["GaussianPyramid", "BINOMIAL_5X5"]
+
+_B5 = np.array([1.0, 4.0, 6.0, 4.0, 1.0], dtype=np.float32) / 16.0
+
+#: The classic 5x5 binomial smoothing kernel (separable, sums to 1).
+BINOMIAL_5X5 = np.outer(_B5, _B5).astype(np.float32)
+
+
+class GaussianPyramid:
+    """Multi-scale decomposition driven by the special-case kernel."""
+
+    def __init__(
+        self,
+        arch: GPUArchitecture = KEPLER_K40M,
+        levels: int = 4,
+        matched: bool = True,
+        bank_policy: BankConflictPolicy = BankConflictPolicy.WORD_MERGE,
+    ):
+        if levels < 1:
+            raise ConfigurationError("levels must be positive")
+        self.levels = levels
+        self.arch = arch
+        self.kernel = SpecialCaseKernel(
+            arch=arch, matched=matched, bank_policy=bank_policy)
+        self.name = "pyramid%d[%s]" % (levels, arch.name)
+
+    # ------------------------------------------------------------------
+    def _smooth(self, image: np.ndarray) -> np.ndarray:
+        return self.kernel.run(image, BINOMIAL_5X5, padding=Padding.SAME)[0]
+
+    def gaussian(self, image: np.ndarray) -> List[np.ndarray]:
+        """Levels of the Gaussian pyramid, finest first."""
+        img = np.asarray(image, dtype=np.float32)
+        if img.ndim != 2:
+            raise ShapeError("pyramids take a 2-D image")
+        if min(img.shape) < 2 ** (self.levels - 1) * 8:
+            raise ConfigurationError(
+                "image %s too small for %d levels" % (img.shape, self.levels))
+        out = [img]
+        for _ in range(self.levels - 1):
+            smoothed = self._smooth(out[-1])
+            out.append(smoothed[::2, ::2].copy())
+        return out
+
+    def laplacian(self, image: np.ndarray) -> List[np.ndarray]:
+        """Band-pass residuals plus the coarsest Gaussian level (last)."""
+        gaussians = self.gaussian(image)
+        bands = []
+        for fine, coarse in zip(gaussians, gaussians[1:]):
+            upsampled = self._upsample(coarse, fine.shape)
+            bands.append(fine - upsampled)
+        bands.append(gaussians[-1])
+        return bands
+
+    def reconstruct(self, bands: List[np.ndarray]) -> np.ndarray:
+        """Exact inverse of :meth:`laplacian`."""
+        if len(bands) != self.levels:
+            raise ShapeError(
+                "expected %d bands, got %d" % (self.levels, len(bands)))
+        image = bands[-1]
+        for band in reversed(bands[:-1]):
+            image = band + self._upsample(image, band.shape)
+        return image
+
+    @staticmethod
+    def _upsample(coarse: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+        """Nearest-neighbour expansion to ``shape`` (exactly invertible)."""
+        up = np.repeat(np.repeat(coarse, 2, axis=0), 2, axis=1)
+        return up[: shape[0], : shape[1]]
+
+    # ------------------------------------------------------------------
+    def level_problems(self, height: int, width: int) -> List[ConvProblem]:
+        """The smoothing problem solved at each level transition."""
+        problems = []
+        h, w = height, width
+        for _ in range(self.levels - 1):
+            problems.append(ConvProblem(
+                height=h, width=w, channels=1, filters=1,
+                kernel_size=5, padding=Padding.SAME))
+            h, w = (h + 1) // 2, (w + 1) // 2
+        return problems
+
+    def cost(self, height: int, width: int) -> KernelCost:
+        """Composed traced cost of the full decomposition."""
+        problems = self.level_problems(height, width)
+        if not problems:
+            raise ConfigurationError("a 1-level pyramid does no work")
+        base = self.kernel.cost(problems[0])
+        for p in problems[1:]:
+            base.ledger.merge(self.kernel.cost(p).ledger)
+        return dataclasses.replace(base, name=self.name,
+                                   launches=len(problems))
+
+    def predict(self, height: int, width: int,
+                model: Optional[TimingModel] = None) -> TimingBreakdown:
+        model = model or TimingModel(self.arch)
+        return model.evaluate(self.cost(height, width))
+
+    def megapixels_per_second(self, height: int, width: int) -> float:
+        """Decomposition throughput in input megapixels per second."""
+        t = self.predict(height, width).total
+        return height * width / t / 1e6

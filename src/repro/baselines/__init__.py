@@ -1,0 +1,38 @@
+"""Baseline kernels and algorithms the paper compares against (or that
+its related-work section discusses): blocked GEMM (cuBLAS/MAGMA-style,
+Fig. 2), cuDNN-like implicit-GEMM convolution, Caffe-style explicit
+im2col convolution, naive direct convolution, FFT convolution and
+Winograd convolution."""
+
+from repro.baselines.gemm import (
+    TiledGemmKernel,
+    GemmShape,
+    MAGMA_FERMI_TILING,
+    MAGMA_MATCHED_TILING,
+    CUBLAS_KEPLER_TILING,
+    magma_fermi_gemm,
+    magma_matched_gemm,
+    cublas_like_gemm,
+)
+from repro.baselines.implicit_gemm import ImplicitGemmKernel
+from repro.baselines.im2col import Im2colKernel, im2col_matrix
+from repro.baselines.direct_naive import NaiveDirectKernel
+from repro.baselines.fft_conv import FFTConvolution
+from repro.baselines.winograd import WinogradConvolution
+
+__all__ = [
+    "TiledGemmKernel",
+    "GemmShape",
+    "MAGMA_FERMI_TILING",
+    "MAGMA_MATCHED_TILING",
+    "CUBLAS_KEPLER_TILING",
+    "magma_fermi_gemm",
+    "magma_matched_gemm",
+    "cublas_like_gemm",
+    "ImplicitGemmKernel",
+    "Im2colKernel",
+    "im2col_matrix",
+    "NaiveDirectKernel",
+    "FFTConvolution",
+    "WinogradConvolution",
+]

@@ -1,0 +1,107 @@
+"""Naive direct convolution: one thread per output pixel.
+
+The strawman every optimized kernel is implicitly measured against: no
+shared-memory staging, no register blocking — each thread walks the
+``K x K x C`` window reading the image and the filter straight from
+global memory.  Warp-adjacent threads cover adjacent output columns, so
+individual tap reads are coalesced, but nothing is ever reused on chip:
+the image is re-read ``K * K * F`` times and the filters ``OH * OW``
+times, which is exactly the data-sharing headroom Fig. 3b of the paper
+illustrates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.conv.reference import conv2d_reference
+from repro.conv.tensors import ConvProblem, Padding
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.gpu.simt import Dim3, LaunchConfig
+from repro.gpu.timing import TimingBreakdown, TimingModel
+from repro.gpu.trace import KernelCost, KernelTracer, cross_block_reuse
+
+__all__ = ["NaiveDirectKernel"]
+
+_F32 = 4
+_THREADS = 256
+
+
+class NaiveDirectKernel:
+    """One-thread-per-output direct convolution (no on-chip reuse)."""
+
+    def __init__(self, arch: GPUArchitecture = KEPLER_K40M):
+        self.arch = arch
+        self.name = "naive-direct[%s]" % arch.name
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        image: np.ndarray,
+        filters: np.ndarray,
+        padding: Padding = Padding.VALID,
+    ) -> np.ndarray:
+        """The per-thread loop nest collapses to the reference result."""
+        return conv2d_reference(image, filters, padding)
+
+    def launch_config(self, problem: ConvProblem) -> LaunchConfig:
+        valid = problem.as_valid()
+        outputs = valid.filters * valid.out_height * valid.out_width
+        return LaunchConfig(
+            grid=Dim3(x=max(1, math.ceil(outputs / _THREADS))),
+            block=Dim3(x=_THREADS),
+            registers_per_thread=28,
+            smem_per_block=0,
+        )
+
+    # ------------------------------------------------------------------
+    def cost(self, problem: ConvProblem) -> KernelCost:
+        valid = problem.as_valid()
+        k = valid.kernel_size
+        launch = self.launch_config(problem)
+        arch = self.arch
+        tracer = KernelTracer(arch)
+        lanes = np.arange(arch.warp_size, dtype=np.int64)
+
+        outputs = valid.filters * valid.out_height * valid.out_width
+        warp_count = outputs / arch.warp_size
+        taps = k * k * valid.channels
+
+        # Image taps: a warp covers contiguous output columns (runs break
+        # at output-row ends), so each tap is one mostly-coalesced read.
+        run = min(valid.out_width, arch.warp_size)
+        gather = (lanes % run) * _F32 + (lanes // run) * valid.width * _F32
+        # Neighbouring taps and the F output maps re-read the same lines;
+        # the L2 catches the K*K-window repeats (the F-fold repeats are
+        # spread too far apart in time to credit).
+        tracer.gmem_read(gather, _F32, count=warp_count * taps, site="gm.image_tap",
+                         l2_reuse=float(k * k))
+
+        # Filter taps: all lanes of a warp share (f, c, ky, kx) — one
+        # address, one transaction, but issued for every tap of every warp.
+        flt_slab = valid.filters * taps * _F32
+        tracer.gmem_read(np.zeros(arch.warp_size, dtype=np.int64), _F32,
+                         count=warp_count * taps, site="gm.filter_tap",
+                         l2_reuse=cross_block_reuse(
+                             arch, flt_slab, warp_count, cap=1024.0))
+
+        tracer.flops(2.0 * taps * outputs)
+
+        out_run = min(valid.out_width, arch.warp_size)
+        out_pat = (lanes % out_run) * _F32 + (lanes // out_run) * valid.out_width * _F32
+        tracer.gmem_write(out_pat, _F32, count=warp_count, site="gm.store_out")
+
+        return tracer.finish(name=self.name, launch=launch)
+
+    # ------------------------------------------------------------------
+    def predict(self, problem: ConvProblem,
+                model: Optional[TimingModel] = None) -> TimingBreakdown:
+        model = model or TimingModel(self.arch)
+        return model.evaluate(self.cost(problem))
+
+    def gflops(self, problem: ConvProblem,
+               model: Optional[TimingModel] = None) -> float:
+        return self.predict(problem, model).gflops(problem.flops)

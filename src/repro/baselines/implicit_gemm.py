@@ -1,0 +1,229 @@
+"""cuDNN-like implicit-GEMM convolution (Chetlur et al. [8]).
+
+cuDNN's GEMM-based convolution avoids the explicit im2col workspace by
+materializing sub-blocks of the lowered matrix *in shared memory at run
+time*: a register-blocked GEMM whose B-panel loads gather directly from
+the input image with im2col addressing.  This is the comparison kernel
+for both of the paper's experiments (Figs. 7 and 8).
+
+Modeling notes (see DESIGN.md):
+
+* The GEMM dimensions are ``M = F``, ``N = OH * OW``, ``K = C*K_f*K_f``.
+  Tiles are padded; the padded FLOPs are what the machine executes, but
+  achieved GFlop/s is always normalized by the *nominal* operation
+  count — this is how the paper's Fig. 7 numbers can sink far below
+  hardware peak for small ``F``.
+* Shared-memory operand reads are scalar ``float`` — the paper's
+  premise is precisely that cuDNN (v5.1) does not restructure its
+  per-thread data width for Kepler's 8-byte banks.
+* A tile-shape heuristic picks the best tiling per problem from a
+  palette, standing in for cuDNN's internal kernel selection.
+* Every input pixel is re-gathered for each of the ``K_f * K_f`` lowered
+  rows it appears in and for each M-tile — the traffic the paper's
+  kernels eliminate (their Sec. 4.2 claims ~1/K of it).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.gemm import GemmShape, GemmTiling
+from repro.baselines.im2col import im2col_matrix
+from repro.conv.tensors import ConvProblem, Padding
+from repro.errors import ShapeError
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.gpu.memory.banks import BankConflictPolicy
+from repro.gpu.simt import Dim3, LaunchConfig
+from repro.gpu.timing import TimingBreakdown, TimingModel
+from repro.gpu.trace import KernelCost, KernelTracer, cross_block_reuse
+
+__all__ = ["ImplicitGemmKernel", "DEFAULT_TILE_PALETTE"]
+
+_F32 = 4
+
+#: Tile shapes the kernel-selection heuristic chooses from, mirroring the
+#: few specialized kernels the library of the paper's era ships (scalar
+#: operand reads each).  One skinny tile serves small-M problems; below
+#: M = 32 the padding is paid in full, as the paper's F = 1 points show.
+DEFAULT_TILE_PALETTE = (
+    GemmTiling(bm=128, bn=128, bk=8, tm=8, tn=8, n=1),
+    GemmTiling(bm=128, bn=64, bk=8, tm=8, tn=4, n=1),
+    GemmTiling(bm=64, bn=64, bk=8, tm=4, tn=4, n=1),
+    GemmTiling(bm=32, bn=64, bk=8, tm=4, tn=4, n=1),
+)
+
+
+def _aligned_width(pitch_elems: int) -> int:
+    """Widest vector access a row pitch of ``pitch_elems`` floats permits."""
+    for width in (16, 8, 4):
+        if (pitch_elems * _F32) % width == 0:
+            return width
+    return 4
+
+
+class ImplicitGemmKernel:
+    """GEMM-based convolution with on-chip im2col (the cuDNN analogue)."""
+
+    def __init__(
+        self,
+        arch: GPUArchitecture = KEPLER_K40M,
+        tiling: Optional[GemmTiling] = None,
+        palette: tuple = DEFAULT_TILE_PALETTE,
+        bank_policy: BankConflictPolicy = BankConflictPolicy.WORD_MERGE,
+    ):
+        self.arch = arch
+        self._tiling = tiling
+        self.palette: List[GemmTiling] = list(palette)
+        self.bank_policy = bank_policy
+        self.name = "cuDNN-like[%s]" % arch.name
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def gemm_shape(problem: ConvProblem) -> GemmShape:
+        valid = problem.as_valid()
+        k = valid.kernel_size
+        return GemmShape(
+            m=valid.filters,
+            n=valid.out_height * valid.out_width,
+            k=valid.channels * k * k,
+        )
+
+    def select_tiling(self, problem: ConvProblem) -> GemmTiling:
+        """Pick the palette tile with the best predicted time."""
+        if self._tiling is not None:
+            return self._tiling
+        model = TimingModel(self.arch)
+        best, best_time = None, float("inf")
+        for tiling in self.palette:
+            t = model.evaluate(self._cost_with(problem, tiling)).total
+            if t < best_time:
+                best, best_time = tiling, t
+        return best
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        image: np.ndarray,
+        filters: np.ndarray,
+        padding: Padding = Padding.VALID,
+    ) -> np.ndarray:
+        """Functional execution: the implicit lowering made explicit."""
+        img = np.asarray(image, dtype=np.float32)
+        if img.ndim == 2:
+            img = img[np.newaxis]
+        flt = np.asarray(filters, dtype=np.float32)
+        if flt.ndim == 3:
+            flt = flt[:, np.newaxis]
+        if img.ndim != 3 or flt.ndim != 4:
+            raise ShapeError("image must be (C,H,W) and filters (F,C,K,K)")
+        problem = ConvProblem(
+            height=img.shape[1], width=img.shape[2], channels=img.shape[0],
+            filters=flt.shape[0], kernel_size=flt.shape[2], padding=padding,
+        )
+        padded = problem.padded_image(img)
+        valid = problem.as_valid()
+        lowered = im2col_matrix(padded, valid.kernel_size)
+        a = flt.reshape(valid.filters, -1)
+        return (a @ lowered).reshape(problem.output_shape)
+
+    # ------------------------------------------------------------------
+    def cost(self, problem: ConvProblem) -> KernelCost:
+        return self._cost_with(problem, self.select_tiling(problem))
+
+    def _cost_with(self, problem: ConvProblem, t: GemmTiling) -> KernelCost:
+        valid = problem.as_valid()
+        shape = self.gemm_shape(problem)
+        arch = self.arch
+
+        grid_x = math.ceil(shape.m / t.bm)
+        grid_y = math.ceil(shape.n / t.bn)
+        blocks = float(grid_x * grid_y)
+        ksteps = math.ceil(shape.k / t.bk)
+        warps = math.ceil(t.threads / arch.warp_size)
+
+        launch = LaunchConfig(
+            grid=Dim3(x=grid_x, y=grid_y),
+            block=Dim3(x=t.threads_x, y=t.threads_y),
+            registers_per_thread=min(t.registers_per_thread() + 8,
+                                     arch.max_registers_per_thread),
+            smem_per_block=t.smem_bytes(),
+        )
+
+        tracer = KernelTracer(arch, self.bank_policy)
+        lanes = np.arange(arch.warp_size, dtype=np.int64)
+        unit = t.n * _F32
+
+        # --- A panel: BM filters x BK lowered coordinates (contiguous) ----
+        # Traffic uses the real K extent; the pad rows are predicated off.
+        # The filter pitch (C*K*K floats) is rarely 16-byte aligned, so
+        # the load width degrades like the hardware's would.
+        a_rows_total = min(shape.k, ksteps * t.bk)
+        width = _aligned_width(shape.k)
+        run_units = max(1, t.bk * _F32 // width)
+        a_addrs = (lanes % run_units) * width + (lanes // run_units) * shape.k * _F32
+        a_reqs = min(shape.m, grid_x * t.bm) * run_units / arch.warp_size
+        a_slab = shape.m * shape.k * _F32
+        tracer.gmem_read(a_addrs, width,
+                         count=a_reqs * (a_rows_total / t.bk) * grid_y,
+                         site="gm.load_filters",
+                         l2_reuse=cross_block_reuse(arch, a_slab, grid_y))
+
+        # --- B panel: BK lowered rows x BN output positions, gathered -----
+        # For one lowered row, BN consecutive output positions map to
+        # contiguous input pixels within an output row; runs break at row
+        # ends.  Scalar loads (gather addressing defeats vectorization).
+        ow = valid.out_width
+        run = min(ow, arch.warp_size)
+        b_addrs = (lanes % run) * _F32 + (lanes // run) * valid.width * _F32
+        b_reqs_per_row = t.bn / arch.warp_size
+        # The K*K lowered rows of one channel re-read the same input
+        # lines within a handful of k-steps: classic L2 temporal reuse.
+        k_taps = valid.kernel_size ** 2
+        tracer.gmem_read(b_addrs, _F32,
+                         count=b_reqs_per_row * shape.k * grid_y * grid_x,
+                         site="gm.load_image_gather",
+                         l2_reuse=float(k_taps))
+
+        # --- shared-memory staging -----------------------------------------
+        panel_units = (t.bm * t.bk + t.bk * t.bn) / (4.0 * arch.warp_size)
+        tracer.smem_write(lanes * 16, 16, count=panel_units * ksteps * blocks,
+                          site="sm.store_panels")
+
+        # --- operand reads per FMA round (scalar float: unmatched) ----------
+        x_ids = lanes % t.threads_x
+        y_ids = lanes // t.threads_x
+        rounds = float(warps) * t.bk * ksteps * blocks
+        for u in range(t.tm // t.n):
+            tracer.smem_read((u * t.threads_x + x_ids) * unit, unit,
+                             count=rounds, site="sm.load_a_col")
+        for u in range(t.tn // t.n):
+            tracer.smem_read((u * t.threads_y + y_ids) * unit, unit,
+                             count=rounds, site="sm.load_b_row")
+
+        # --- compute (padded tiles execute in full) ---------------------------
+        tracer.flops(2.0 * t.bm * t.bn * t.bk * ksteps * blocks)
+
+        # --- writeback: BN contiguous output pixels per tile row --------------
+        w_width = _aligned_width(shape.n)
+        run_w = max(1, t.bn * _F32 // w_width)
+        wb = (lanes % run_w) * w_width + (lanes // run_w) * shape.n * _F32
+        wb_rows = min(shape.m, grid_x * t.bm)
+        tracer.gmem_write(wb, w_width,
+                          count=wb_rows * run_w / arch.warp_size * grid_y,
+                          site="gm.store_out")
+
+        tracer.sync(2.0 * ksteps * blocks)
+        return tracer.finish(name=self.name, launch=launch, software_prefetch=True)
+
+    # ------------------------------------------------------------------
+    def predict(self, problem: ConvProblem,
+                model: Optional[TimingModel] = None) -> TimingBreakdown:
+        model = model or TimingModel(self.arch)
+        return model.evaluate(self.cost(problem))
+
+    def gflops(self, problem: ConvProblem,
+               model: Optional[TimingModel] = None) -> float:
+        return self.predict(problem, model).gflops(problem.flops)

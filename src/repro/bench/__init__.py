@@ -1,0 +1,28 @@
+"""Benchmark harness: experiment definitions for every table and figure
+in the paper's evaluation, a runner that evaluates kernels on the
+workload sweeps, and plain-text reporting."""
+
+from repro.bench.runner import ComparisonRow, Experiment, compare_on_sweep
+from repro.bench.figures import (
+    fig1_bank_patterns,
+    fig2_gemm,
+    fig7_special,
+    fig8_general,
+    table1,
+    ALL_EXPERIMENTS,
+)
+from repro.bench.report import format_experiment, summarize_ratio
+
+__all__ = [
+    "ComparisonRow",
+    "Experiment",
+    "compare_on_sweep",
+    "fig1_bank_patterns",
+    "fig2_gemm",
+    "fig7_special",
+    "fig8_general",
+    "table1",
+    "ALL_EXPERIMENTS",
+    "format_experiment",
+    "summarize_ratio",
+]

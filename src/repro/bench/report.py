@@ -1,0 +1,88 @@
+"""Plain-text reporting for reproduced experiments: aligned tables and
+paper-versus-measured summaries (the content of EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.runner import Experiment
+
+__all__ = [
+    "format_experiment",
+    "format_experiment_markdown",
+    "summarize_ratio",
+    "format_summary_line",
+]
+
+
+def format_experiment_markdown(exp: Experiment, precision: int = 1) -> str:
+    """Render an experiment as a GitHub-flavoured markdown table."""
+    lines = []
+    lines.append("### %s — %s [%s]" % (exp.exp_id, exp.title, exp.unit))
+    if exp.paper_expectation:
+        lines.append("")
+        lines.append("*paper:* %s" % exp.paper_expectation)
+    lines.append("")
+    lines.append("| workload | " + " | ".join(exp.columns) + " |")
+    lines.append("|" + "---|" * (len(exp.columns) + 1))
+    for row in exp.rows:
+        cells = ["%.*f" % (precision, row.values[c]) for c in exp.columns]
+        lines.append("| %s | %s |" % (row.label, " | ".join(cells)))
+    if exp.notes:
+        lines.append("")
+        lines.append("*note:* %s" % exp.notes)
+    return "\n".join(lines)
+
+
+def format_experiment(exp: Experiment, precision: int = 1) -> str:
+    """Render an experiment as an aligned plain-text table."""
+    label_w = max([len("workload")] + [len(r.label) for r in exp.rows])
+    col_ws = {
+        c: max(len(c), precision + 7) for c in exp.columns
+    }
+    lines = []
+    lines.append("%s — %s [%s]" % (exp.exp_id, exp.title, exp.unit))
+    if exp.paper_expectation:
+        lines.append("paper: %s" % exp.paper_expectation)
+    header = "  ".join(
+        ["workload".ljust(label_w)] + [c.rjust(col_ws[c]) for c in exp.columns]
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in exp.rows:
+        cells = [row.label.ljust(label_w)]
+        for c in exp.columns:
+            cells.append(("%.*f" % (precision, row.values[c])).rjust(col_ws[c]))
+        lines.append("  ".join(cells))
+    if exp.notes:
+        lines.append("note: %s" % exp.notes)
+    return "\n".join(lines)
+
+
+def summarize_ratio(
+    exp: Experiment, numerator: str, denominator: str
+) -> dict:
+    """Mean/min/max of a method ratio across an experiment's rows."""
+    ratios = exp.ratios(numerator, denominator)
+    return {
+        "mean": sum(ratios) / len(ratios),
+        "min": min(ratios),
+        "max": max(ratios),
+        "n": len(ratios),
+    }
+
+
+def format_summary_line(
+    exp: Experiment,
+    numerator: str,
+    denominator: str,
+    paper_value: Optional[str] = None,
+) -> str:
+    """One-line measured-vs-paper summary for an experiment."""
+    s = summarize_ratio(exp, numerator, denominator)
+    line = "%s: %s / %s = %.2fx mean (min %.2f, max %.2f, n=%d)" % (
+        exp.exp_id, numerator, denominator, s["mean"], s["min"], s["max"], s["n"]
+    )
+    if paper_value:
+        line += "  [paper: %s]" % paper_value
+    return line

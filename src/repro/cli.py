@@ -1,0 +1,139 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+::
+
+    python -m repro list                     # available experiment ids
+    python -m repro run fig2                 # regenerate one experiment
+    python -m repro run fig8a --arch maxwell # on another architecture
+    python -m repro run all --skip-slow      # everything quick
+    python -m repro summary                  # headline paper-vs-measured lines
+
+Tables are printed to stdout (the same renderer the benchmark suite
+uses to fill ``benchmarks/output/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from typing import List, Optional
+
+from repro.bench.figures import ALL_EXPERIMENTS
+from repro.bench.report import format_experiment, format_summary_line
+from repro.gpu.arch import ARCHITECTURES
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments that take noticeably longer than a second to regenerate.
+SLOW_EXPERIMENTS = ("table1",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the DAC'17 convolution paper's experiments "
+        "on the simulated GPU substrate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run = sub.add_parser("run", help="regenerate one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument("--arch", choices=sorted(ARCHITECTURES), default="kepler",
+                     help="architecture preset (where the experiment takes one)")
+    run.add_argument("--precision", type=int, default=1,
+                     help="decimal places in the table")
+    run.add_argument("--skip-slow", action="store_true",
+                     help="with 'all': skip the long-running experiments")
+
+    sub.add_parser("summary", help="print the headline paper-vs-measured lines")
+
+    claims = sub.add_parser("claims",
+                            help="verify every quantitative claim of the paper")
+    claims.add_argument("ids", nargs="*",
+                        help="claim ids to check (default: all)")
+    return parser
+
+
+def _build(exp_id: str, arch_name: str):
+    builder = ALL_EXPERIMENTS[exp_id]
+    arch = ARCHITECTURES[arch_name]
+    try:
+        params = inspect.signature(builder).parameters
+    except (TypeError, ValueError):
+        params = {}
+    if "arch" in params:
+        return builder(arch=arch)
+    return builder()
+
+
+def _cmd_list() -> int:
+    for exp_id in ALL_EXPERIMENTS:
+        slow = "  (slow)" if exp_id in SLOW_EXPERIMENTS else ""
+        print("%s%s" % (exp_id, slow))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.experiment == "all":
+        ids = [e for e in ALL_EXPERIMENTS
+               if not (args.skip_slow and e in SLOW_EXPERIMENTS)]
+    elif args.experiment in ALL_EXPERIMENTS:
+        ids = [args.experiment]
+    else:
+        print("unknown experiment %r; try: python -m repro list"
+              % args.experiment, file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        exp = _build(exp_id, args.arch)
+        print(format_experiment(exp, precision=args.precision))
+        print()
+    return 0
+
+
+def _cmd_summary() -> int:
+    from repro.bench.figures import fig2_gemm, fig7_special, fig8_general
+
+    fig2 = fig2_gemm()
+    print(format_summary_line(fig2, "MAGMA", "cuBLAS", paper_value="2.4x"))
+    for k in (1, 3, 5):
+        exp = fig7_special(k)
+        paper = {1: "6.16x", 3: "6.43x", 5: "2.90x"}[k]
+        print(format_summary_line(exp, "ours", "cuDNN", paper_value=paper))
+    for k in (3, 5, 7):
+        exp = fig8_general(k)
+        paper = {3: "+30.5%", 5: "+45.3%", 7: "+30.8%"}[k]
+        print(format_summary_line(exp, "ours", "cuDNN", paper_value=paper))
+    return 0
+
+
+def _cmd_claims(args) -> int:
+    from repro.bench.claims import format_claim_results, verify_claims
+
+    ids = args.ids or None
+    pairs = verify_claims(ids)
+    if not pairs:
+        print("no matching claims; see repro.bench.claims.PAPER_CLAIMS",
+              file=sys.stderr)
+        return 2
+    print(format_claim_results(pairs))
+    return 0 if all(r.supported for _, r in pairs) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "summary":
+        return _cmd_summary()
+    if args.command == "claims":
+        return _cmd_claims(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Convolution math substrate: problem descriptions, reference
+implementations, image blocking, and workload sweeps."""
+
+from repro.conv.tensors import ConvProblem, Padding
+from repro.conv.reference import conv2d_reference, conv2d_single_channel
+from repro.conv.blocking import BlockSpec, BlockGrid, halo_read_overhead
+
+__all__ = [
+    "ConvProblem",
+    "Padding",
+    "conv2d_reference",
+    "conv2d_single_channel",
+    "BlockSpec",
+    "BlockGrid",
+    "halo_read_overhead",
+]

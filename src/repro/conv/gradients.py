@@ -1,0 +1,164 @@
+"""Convolution gradients for CNN training.
+
+The paper motivates its kernels with *both* phases of CNN execution
+("propagating through these convolutional layers is always a
+computation bottleneck in both the training and inference phases",
+Sec. 1) but only evaluates the forward pass.  This module supplies the
+training-side operators and shows how they map back onto the paper's
+kernels:
+
+* **input gradient** (``dX``) — a full convolution of the output
+  gradient with the 180-degree-rotated, channel/filter-transposed
+  weights.  After zero-padding it *is* a forward convolution problem
+  (channels = F, filters = C), so the general-case kernel runs it
+  directly: :func:`input_gradient_problem` builds the equivalent
+  :class:`~repro.conv.tensors.ConvProblem`.
+* **weight gradient** (``dW``) — per (filter, channel) a valid
+  correlation of the input with the output gradient, i.e. a
+  convolution whose "filter" is the OH x OW gradient map.  This fits
+  the paper's *special-case* kernel per input channel whenever the
+  gradient map fits constant memory (late CNN layers);
+  :func:`weight_gradient_problem` builds that mapping and raises
+  :class:`~repro.errors.ConfigurationError` when the map is too large
+  (early layers use dedicated wgrad kernels in production libraries —
+  out of the paper's scope).
+
+Functional implementations are exact and are verified in the test suite
+through the adjoint identities ``<g, conv(x, W)> = <dgrad(g, W), x> =
+<wgrad(x, g), W>``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conv.tensors import ConvProblem, Padding
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = [
+    "conv2d_input_gradient",
+    "conv2d_weight_gradient",
+    "input_gradient_problem",
+    "weight_gradient_problem",
+]
+
+
+def _check_triplet(grad_output, filters=None, image=None, kernel_size=None):
+    g = np.asarray(grad_output, dtype=np.float32)
+    if g.ndim == 2:
+        g = g[np.newaxis]
+    if g.ndim != 3:
+        raise ShapeError("grad_output must be (F, OH, OW)")
+    return g
+
+
+def conv2d_input_gradient(grad_output: np.ndarray, filters: np.ndarray) -> np.ndarray:
+    """Gradient of a 'valid' convolution w.r.t. its input.
+
+    ``dX[c, y, x] = sum_{f, ky, kx} g[f, y - ky, x - kx] * W[f, c, ky, kx]``
+    (out-of-range ``g`` terms are zero).
+
+    Parameters: ``grad_output`` is ``(F, OH, OW)``, ``filters`` is
+    ``(F, C, K, K)``.  Returns ``(C, H, W)`` with ``H = OH + K - 1``.
+    """
+    from repro.conv.reference import conv2d_reference
+
+    g = _check_triplet(grad_output)
+    w = np.asarray(filters, dtype=np.float32)
+    if w.ndim == 3:
+        w = w[:, np.newaxis]
+    if w.ndim != 4 or w.shape[0] != g.shape[0]:
+        raise ShapeError("filters must be (F, C, K, K) with F matching grad_output")
+    k = w.shape[2]
+    if w.shape[3] != k:
+        raise ShapeError("filters must be square")
+
+    pad = k - 1
+    g_padded = np.pad(g, ((0, 0), (pad, pad), (pad, pad)))
+    # Full convolution == valid correlation with the rotated, (f, c)-
+    # transposed filter bank.
+    w_rot = w[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+    return conv2d_reference(g_padded, np.ascontiguousarray(w_rot))
+
+
+def conv2d_weight_gradient(
+    image: np.ndarray, grad_output: np.ndarray, kernel_size: int
+) -> np.ndarray:
+    """Gradient of a 'valid' convolution w.r.t. its filters.
+
+    ``dW[f, c, ky, kx] = sum_{y, x} img[c, y + ky, x + kx] * g[f, y, x]``.
+
+    Parameters: ``image`` is ``(C, H, W)``, ``grad_output`` is
+    ``(F, OH, OW)`` with ``OH = H - K + 1``.  Returns ``(F, C, K, K)``.
+    """
+    img = np.asarray(image, dtype=np.float32)
+    if img.ndim == 2:
+        img = img[np.newaxis]
+    g = _check_triplet(grad_output)
+    k = kernel_size
+    oh, ow = g.shape[1], g.shape[2]
+    if img.shape[1] != oh + k - 1 or img.shape[2] != ow + k - 1:
+        raise ShapeError(
+            "image %s inconsistent with grad_output %s for K=%d"
+            % (img.shape, g.shape, k)
+        )
+    out = np.empty((g.shape[0], img.shape[0], k, k), dtype=np.float64)
+    for ky in range(k):
+        for kx in range(k):
+            window = img[:, ky : ky + oh, kx : kx + ow]
+            out[:, :, ky, kx] = np.tensordot(g, window, axes=([1, 2], [1, 2]))
+    return out.astype(np.float32)
+
+
+def input_gradient_problem(problem: ConvProblem) -> ConvProblem:
+    """The forward-convolution problem equivalent to this layer's dgrad.
+
+    The padded gradient map has extent ``OH + 2(K - 1)``; channels and
+    filters swap roles.  Run it on
+    :class:`~repro.core.general.GeneralCaseKernel` to cost the backward
+    data pass with the paper's kernel.
+    """
+    valid = problem.as_valid()
+    k = valid.kernel_size
+    return ConvProblem(
+        height=valid.out_height + 2 * (k - 1),
+        width=valid.out_width + 2 * (k - 1),
+        channels=valid.filters,
+        filters=valid.channels,
+        kernel_size=k,
+        padding=Padding.VALID,
+    )
+
+
+def weight_gradient_problem(
+    problem: ConvProblem, const_memory_size: int = 64 * 1024
+) -> ConvProblem:
+    """The per-channel special-case problem equivalent to wgrad.
+
+    For one input channel, ``dW[:, c]`` is a single-channel convolution
+    of the image with ``F`` filters of size ``OH`` (the gradient maps).
+    The mapping is valid only while those maps fit constant memory —
+    the regime of the deeper CNN layers.  The returned problem should
+    be costed once per input channel.
+    """
+    valid = problem.as_valid()
+    if valid.out_height != valid.out_width:
+        raise ConfigurationError(
+            "wgrad-as-convolution needs square gradient maps, got %dx%d"
+            % (valid.out_height, valid.out_width)
+        )
+    grad_bytes = valid.filters * valid.out_height * valid.out_width * 4
+    if grad_bytes > const_memory_size:
+        raise ConfigurationError(
+            "gradient maps need %d bytes of constant memory (> %d): this "
+            "layer's wgrad needs a dedicated kernel, outside the paper's "
+            "scope" % (grad_bytes, const_memory_size)
+        )
+    return ConvProblem(
+        height=valid.height,
+        width=valid.width,
+        channels=1,
+        filters=valid.filters,
+        kernel_size=valid.out_height,
+        padding=Padding.VALID,
+    )

@@ -1,0 +1,91 @@
+"""Reference convolution implementations.
+
+These are the golden models every kernel in :mod:`repro.core` and
+:mod:`repro.baselines` is verified against.  Like the paper (and the
+deep-learning libraries it compares with), "convolution" here means
+cross-correlation: filters are not flipped.
+
+The implementation is a tap-loop over (dy, dx) with a ``tensordot``
+across channels, which is exact, simple to audit, and fast enough to act
+as a golden model for multi-megapixel tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conv.tensors import ConvProblem, Padding
+from repro.errors import ShapeError
+
+__all__ = ["conv2d_reference", "conv2d_single_channel"]
+
+
+def conv2d_reference(
+    image: np.ndarray,
+    filters: np.ndarray,
+    padding: Padding = Padding.VALID,
+) -> np.ndarray:
+    """Multi-channel 2-D cross-correlation.
+
+    Parameters
+    ----------
+    image:
+        ``(C, H, W)`` array (a 2-D array is promoted to one channel).
+    filters:
+        ``(F, C, K, K)`` array (2-D/3-D arrays are promoted).
+    padding:
+        Boundary mode; 'same' zero-pads so the output matches the input
+        extent.
+
+    Returns
+    -------
+    ``(F, OH, OW)`` float32 array.
+    """
+    img = np.asarray(image, dtype=np.float32)
+    if img.ndim == 2:
+        img = img[np.newaxis]
+    flt = np.asarray(filters, dtype=np.float32)
+    if flt.ndim == 2:
+        flt = flt[np.newaxis, np.newaxis]
+    elif flt.ndim == 3:
+        flt = flt[:, np.newaxis]
+    if img.ndim != 3 or flt.ndim != 4:
+        raise ShapeError("image must be (C,H,W) and filters (F,C,K,K)")
+    if flt.shape[2] != flt.shape[3]:
+        raise ShapeError("only square filters are supported")
+
+    problem = ConvProblem(
+        height=img.shape[1],
+        width=img.shape[2],
+        channels=img.shape[0],
+        filters=flt.shape[0],
+        kernel_size=flt.shape[2],
+        padding=padding,
+    )
+    img = problem.padded_image(img)
+    if flt.shape[1] != img.shape[0]:
+        raise ShapeError(
+            "filters have %d channels, image has %d" % (flt.shape[1], problem.channels)
+        )
+
+    k = problem.kernel_size
+    oh, ow = problem.out_height, problem.out_width
+    out = np.zeros((problem.filters, oh, ow), dtype=np.float64)
+    for dy in range(k):
+        for dx in range(k):
+            window = img[:, dy : dy + oh, dx : dx + ow]
+            taps = flt[:, :, dy, dx]
+            out += np.tensordot(taps, window, axes=([1], [0]))
+    return out.astype(np.float32)
+
+
+def conv2d_single_channel(image: np.ndarray, filters: np.ndarray,
+                          padding: Padding = Padding.VALID) -> np.ndarray:
+    """The paper's special case: one input channel (Sec. 3).
+
+    ``image`` is ``(H, W)``; ``filters`` is ``(F, K, K)`` or ``(K, K)``.
+    """
+    img = np.asarray(image, dtype=np.float32)
+    if img.ndim != 2:
+        raise ShapeError("special-case image must be 2-D, got %d-D" % img.ndim)
+    return conv2d_reference(img, filters, padding)

@@ -1,0 +1,190 @@
+"""Convolution problem descriptions and tensor-layout helpers.
+
+The paper parameterizes its experiments by image size ``N`` (square
+images), filter size ``K``, channel count ``C`` and filter count ``F``
+(Figs. 7–8).  :class:`ConvProblem` captures one such instance plus the
+boundary-handling mode, and provides the derived quantities every kernel
+and benchmark needs (output extent, nominal FLOPs, tensor shapes).
+
+Layouts follow the paper (and Caffe/cuDNN of its era): images are CHW,
+filters are FCKK, outputs are F x OH x OW, all ``float32`` — the 4-byte
+``W_CD`` of the paper's bank-width model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["Padding", "ConvProblem", "FLOAT_BYTES"]
+
+#: Bytes per element of the basic computation data type (float).
+FLOAT_BYTES = 4
+
+
+class Padding(enum.Enum):
+    """Boundary handling for the convolution."""
+
+    VALID = "valid"    # output shrinks by K-1
+    SAME = "same"      # zero-pad so output extent equals input extent
+
+
+@dataclass(frozen=True)
+class ConvProblem:
+    """One convolution instance: C x H x W image, F filters of size K x K."""
+
+    height: int
+    width: int
+    channels: int
+    filters: int
+    kernel_size: int
+    padding: Padding = Padding.VALID
+
+    def __post_init__(self):
+        if min(self.height, self.width, self.channels, self.filters) < 1:
+            raise ShapeError("all convolution extents must be positive")
+        if self.kernel_size < 1:
+            raise ShapeError("kernel_size must be positive")
+        if self.padding is Padding.VALID:
+            if self.kernel_size > min(self.height, self.width):
+                raise ShapeError(
+                    "a %dx%d filter does not fit a %dx%d image in 'valid' mode"
+                    % (self.kernel_size, self.kernel_size, self.height, self.width)
+                )
+        elif self.kernel_size % 2 == 0:
+            raise ShapeError("'same' padding requires an odd kernel_size")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def square(
+        cls,
+        n: int,
+        kernel_size: int,
+        channels: int = 1,
+        filters: int = 1,
+        padding: Padding = Padding.VALID,
+    ) -> "ConvProblem":
+        """The paper's (N, K, C, F) parameterization."""
+        return cls(
+            height=n,
+            width=n,
+            channels=channels,
+            filters=filters,
+            kernel_size=kernel_size,
+            padding=padding,
+        )
+
+    @property
+    def pad(self) -> int:
+        """Zero-padding applied to each image border."""
+        return (self.kernel_size - 1) // 2 if self.padding is Padding.SAME else 0
+
+    @property
+    def out_height(self) -> int:
+        if self.padding is Padding.SAME:
+            return self.height
+        return self.height - self.kernel_size + 1
+
+    @property
+    def out_width(self) -> int:
+        if self.padding is Padding.SAME:
+            return self.width
+        return self.width - self.kernel_size + 1
+
+    @property
+    def image_shape(self) -> tuple:
+        return (self.channels, self.height, self.width)
+
+    @property
+    def filter_shape(self) -> tuple:
+        return (self.filters, self.channels, self.kernel_size, self.kernel_size)
+
+    @property
+    def output_shape(self) -> tuple:
+        return (self.filters, self.out_height, self.out_width)
+
+    @property
+    def flops(self) -> int:
+        """Nominal operation count: one multiply + one add per tap.
+
+        This is the count the paper's GFlop/s figures are normalized by.
+        """
+        k = self.kernel_size
+        return 2 * k * k * self.channels * self.filters * self.out_height * self.out_width
+
+    @property
+    def image_bytes(self) -> int:
+        return self.channels * self.height * self.width * FLOAT_BYTES
+
+    @property
+    def filter_bytes(self) -> int:
+        k = self.kernel_size
+        return self.filters * self.channels * k * k * FLOAT_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        return self.filters * self.out_height * self.out_width * FLOAT_BYTES
+
+    @property
+    def max_pixel_reuse(self) -> int:
+        """Upper bound on uses of one input pixel: K * K * F (Sec. 2.2)."""
+        return self.kernel_size * self.kernel_size * self.filters
+
+    def as_valid(self) -> "ConvProblem":
+        """The equivalent 'valid' problem on the zero-padded image.
+
+        Kernels implement only the valid case; 'same' problems are run
+        by padding the image first and converting with this method.
+        """
+        if self.padding is Padding.VALID:
+            return self
+        return replace(
+            self,
+            height=self.height + 2 * self.pad,
+            width=self.width + 2 * self.pad,
+            padding=Padding.VALID,
+        )
+
+    # ------------------------------------------------------------------
+    def check_image(self, image: np.ndarray) -> np.ndarray:
+        """Validate and canonicalize an image array (HW or CHW)."""
+        arr = np.asarray(image, dtype=np.float32)
+        if arr.ndim == 2:
+            arr = arr[np.newaxis]
+        if arr.shape != self.image_shape:
+            raise ShapeError(
+                "image shape %s does not match problem %s" % (arr.shape, self.image_shape)
+            )
+        return arr
+
+    def check_filters(self, filters: np.ndarray) -> np.ndarray:
+        """Validate and canonicalize a filter array (KK, FKK or FCKK)."""
+        arr = np.asarray(filters, dtype=np.float32)
+        if arr.ndim == 2:
+            arr = arr[np.newaxis, np.newaxis]
+        elif arr.ndim == 3:
+            arr = arr[:, np.newaxis]
+        if arr.shape != self.filter_shape:
+            raise ShapeError(
+                "filter shape %s does not match problem %s" % (arr.shape, self.filter_shape)
+            )
+        return arr
+
+    def padded_image(self, image: np.ndarray) -> np.ndarray:
+        """Zero-pad ``image`` according to the padding mode."""
+        arr = self.check_image(image)
+        if self.pad == 0:
+            return arr
+        p = self.pad
+        return np.pad(arr, ((0, 0), (p, p), (p, p)))
+
+    def random_instance(self, seed: int = 0) -> tuple:
+        """A reproducible (image, filters) pair for tests and benchmarks."""
+        rng = np.random.default_rng(seed)
+        image = rng.standard_normal(self.image_shape).astype(np.float32)
+        filters = rng.standard_normal(self.filter_shape).astype(np.float32)
+        return image, filters

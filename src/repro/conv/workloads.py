@@ -1,0 +1,148 @@
+"""Workload sweeps for the paper's experiments.
+
+The paper sweeps convolution parameters ``(N, K, F)`` for the special
+case (Fig. 7) and ``(N, K, C, F)`` for the general case (Fig. 8), plus
+square SGEMM dimensions 2K–8K for the motivating Fig. 2.  The exact
+x-axis tuples are tick labels in the paper's plots and are not printed
+in the text, so the sweeps below are our documented reconstruction
+covering the stated ranges (see DESIGN.md Sec. 4): image sizes from the
+small-image regime the paper singles out (32 x 32) up to megapixel
+images, channel/filter counts typical of the CNN layers the paper
+motivates (AlexNet/VGG era).
+
+Every sweep point is a :class:`WorkloadPoint` with a stable label so
+benchmark output lines up across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.conv.tensors import ConvProblem
+
+__all__ = [
+    "WorkloadPoint",
+    "special_case_sweep",
+    "general_case_sweep",
+    "gemm_sweep_dims",
+    "vgg_layers",
+    "alexnet_layers",
+    "SPECIAL_FILTER_SIZES",
+    "GENERAL_FILTER_SIZES",
+]
+
+#: Filter sizes evaluated in Fig. 7 (special case).
+SPECIAL_FILTER_SIZES = (1, 3, 5)
+
+#: Filter sizes evaluated in Fig. 8 / Table 1 (general case).
+GENERAL_FILTER_SIZES = (3, 5, 7)
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """One x-axis position of a paper figure."""
+
+    label: str
+    problem: ConvProblem
+
+
+def special_case_sweep(kernel_size: int) -> List[WorkloadPoint]:
+    """Fig. 7 sweep for one filter size: single-channel images.
+
+    Covers large grayscale images (the image-processing motivation) and
+    filter counts from the low-overlap regime ``F = 1`` the paper calls
+    out up to filter banks of 32.
+    """
+    if kernel_size not in SPECIAL_FILTER_SIZES:
+        raise ValueError(
+            "special-case sweeps cover K in %s, got %d"
+            % (SPECIAL_FILTER_SIZES, kernel_size)
+        )
+    points = []
+    for n in (512, 1024, 2048, 4096):
+        for f in (1, 8, 32):
+            label = "N=%d,K=%d,F=%d" % (n, kernel_size, f)
+            points.append(
+                WorkloadPoint(
+                    label=label,
+                    problem=ConvProblem.square(n, kernel_size, channels=1, filters=f),
+                )
+            )
+    return points
+
+
+def general_case_sweep(kernel_size: int) -> List[WorkloadPoint]:
+    """Fig. 8 sweep for one filter size: multi-channel CNN-style layers.
+
+    Includes the 32 x 32 small-image point where the paper reports its
+    kernel "may be a little slower than cuDNN".
+    """
+    if kernel_size not in GENERAL_FILTER_SIZES:
+        raise ValueError(
+            "general-case sweeps cover K in %s, got %d"
+            % (GENERAL_FILTER_SIZES, kernel_size)
+        )
+    combos = [
+        (32, 128, 128),
+        (32, 256, 256),
+        (64, 64, 64),
+        (64, 128, 128),
+        (64, 256, 256),
+        (128, 64, 64),
+        (128, 64, 128),
+        (128, 128, 128),
+        (224, 32, 64),
+        (224, 64, 64),
+        (224, 64, 128),
+    ]
+    points = []
+    for n, c, f in combos:
+        label = "N=%d,K=%d,C=%d,F=%d" % (n, kernel_size, c, f)
+        points.append(
+            WorkloadPoint(
+                label=label,
+                problem=ConvProblem.square(n, kernel_size, channels=c, filters=f),
+            )
+        )
+    return points
+
+
+def gemm_sweep_dims() -> List[int]:
+    """Fig. 2 sweep: square SGEMM dimensions 2K .. 8K."""
+    return [2048, 3072, 4096, 5120, 6144, 7168, 8192]
+
+
+def vgg_layers(kernel_size: int = 3) -> List[WorkloadPoint]:
+    """VGG-16-like convolutional layer stack (Simonyan & Zisserman [4])."""
+    layers = [
+        ("conv1_2", 224, 64, 64),
+        ("conv2_2", 112, 128, 128),
+        ("conv3_2", 56, 256, 256),
+        ("conv4_2", 28, 512, 512),
+        ("conv5_2", 14, 512, 512),
+    ]
+    return [
+        WorkloadPoint(
+            label="vgg.%s" % name,
+            problem=ConvProblem.square(n, kernel_size, channels=c, filters=f),
+        )
+        for name, n, c, f in layers
+    ]
+
+
+def alexnet_layers() -> List[WorkloadPoint]:
+    """AlexNet-like middle layers (Krizhevsky et al. [5]); 5x5 and 3x3."""
+    layers = [
+        ("conv2", 27, 5, 96, 256),
+        ("conv3", 13, 3, 256, 384),
+        ("conv4", 13, 3, 384, 384),
+        ("conv5", 13, 3, 384, 256),
+    ]
+    return [
+        WorkloadPoint(
+            label="alexnet.%s" % name,
+            problem=ConvProblem.square(n, k, channels=c, filters=f),
+        )
+        for name, n, k, c, f in layers
+    ]

@@ -1,0 +1,38 @@
+"""The paper's contribution: the bank-width matching model and the two
+memory-efficient direct-convolution kernels (special case C = 1 and the
+general multi-channel case), plus their communication analysis and the
+design-space explorer that regenerates Table 1."""
+
+from repro.core.bankwidth import (
+    DataType,
+    VectorSpec,
+    mismatch_factor,
+    matched_vector,
+    conventional_pattern,
+    matched_pattern,
+    smem_bandwidth_gain,
+)
+from repro.core.config import (
+    SpecialCaseConfig,
+    GeneralCaseConfig,
+    TABLE1_CONFIGS,
+    BEST_SPECIAL_CONFIG,
+)
+from repro.core.special import SpecialCaseKernel
+from repro.core.general import GeneralCaseKernel
+
+__all__ = [
+    "DataType",
+    "VectorSpec",
+    "mismatch_factor",
+    "matched_vector",
+    "conventional_pattern",
+    "matched_pattern",
+    "smem_bandwidth_gain",
+    "SpecialCaseConfig",
+    "GeneralCaseConfig",
+    "TABLE1_CONFIGS",
+    "BEST_SPECIAL_CONFIG",
+    "SpecialCaseKernel",
+    "GeneralCaseKernel",
+]

@@ -1,0 +1,211 @@
+"""Kernel tile/blocking configurations (paper Secs. 3.1, 4.1, Table 1).
+
+Both kernels are parameterized by an output-block geometry; the general
+case adds the register/shared-memory tiling dimensions of Fig. 6.  The
+classes here validate a configuration's internal divisibility
+constraints and estimate its static resources (registers per thread,
+shared memory per block) so the occupancy calculator and the
+design-space explorer can reject configurations that would not be
+resident on the device — the same feasibility filter the paper's
+"design space exploration" (Sec. 5.1) applies.
+
+``TABLE1_CONFIGS`` reproduces the paper's Table 1 verbatim;
+:mod:`repro.core.dse` searches the space independently and the Table 1
+benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conv.blocking import BlockSpec
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SpecialCaseConfig",
+    "GeneralCaseConfig",
+    "BEST_SPECIAL_CONFIG",
+    "TABLE1_CONFIGS",
+]
+
+#: Registers every thread needs for indices, loop counters, base pointers.
+_BOOKKEEPING_REGS = 14
+
+
+def _round_up(value: int, unit: int) -> int:
+    return (value + unit - 1) // unit * unit
+
+
+@dataclass(frozen=True)
+class SpecialCaseConfig:
+    """Geometry of the special-case kernel (Sec. 3.1).
+
+    ``block_w`` (the paper's W) output columns by ``block_h`` (H) output
+    rows per thread block; each thread produces ``n`` contiguous output
+    pixels per row, so the block has ``block_w / n`` threads.
+    """
+
+    block_w: int = 256
+    block_h: int = 8
+
+    def __post_init__(self):
+        if self.block_w < 1 or self.block_h < 1:
+            raise ConfigurationError("block extents must be positive")
+
+    def validate(self, kernel_size: int, n: int, warp_size: int = 32) -> None:
+        if n < 1:
+            raise ConfigurationError("vector width n must be positive")
+        if self.block_w % n:
+            raise ConfigurationError(
+                "block_w=%d must be divisible by n=%d" % (self.block_w, n)
+            )
+        threads = self.threads(n)
+        if threads % warp_size:
+            raise ConfigurationError(
+                "%d threads per block is not a whole number of warps" % threads
+            )
+        if kernel_size < 1:
+            raise ConfigurationError("kernel_size must be positive")
+
+    def threads(self, n: int) -> int:
+        return self.block_w // n
+
+    def block_spec(self) -> BlockSpec:
+        return BlockSpec(block_h=self.block_h, block_w=self.block_w)
+
+    def smem_row_floats(self, kernel_size: int, n: int) -> int:
+        """Floats per staged image row: W + K - 1, padded to vector units."""
+        return _round_up(self.block_w + kernel_size - 1, n)
+
+    def smem_bytes(self, kernel_size: int, n: int, elem_bytes: int = 4) -> int:
+        """Shared memory per block: a K-row circular window of the tile."""
+        return kernel_size * self.smem_row_floats(kernel_size, n) * elem_bytes
+
+    def registers_per_thread(self, kernel_size: int, n: int) -> int:
+        """Estimated register demand per thread.
+
+        The K x (K + n - 1) pixel window (Sec. 3.2), ``n`` convolution
+        accumulators, the prefetch staging of the thread's share of the
+        next row (n pixels, double-buffered), and bookkeeping.
+        """
+        k = kernel_size
+        window = k * (k + n - 1)
+        return window + n + 2 * n + _BOOKKEEPING_REGS
+
+
+@dataclass(frozen=True)
+class GeneralCaseConfig:
+    """Geometry of the general-case kernel (Sec. 4.1, Fig. 6, Table 1).
+
+    A thread block covers ``ftb`` filters by ``w x h`` output pixels and
+    iterates over all C channels, staging ``csh`` channels of image
+    blocks and filters in shared memory.  Threads form a ``tx x ty``
+    grid with ``tx = ftb / ft`` and ``ty = w * h / wt``; each thread
+    accumulates an ``ft x wt`` register tile, its ``wt`` output pixels
+    contiguous along the row (the paper's key deviation from blocked
+    GEMM).
+    """
+
+    w: int
+    h: int
+    ftb: int
+    wt: int
+    ft: int
+    csh: int
+
+    def __post_init__(self):
+        for field_name in ("w", "h", "ftb", "wt", "ft", "csh"):
+            if getattr(self, field_name) < 1:
+                raise ConfigurationError("%s must be positive" % field_name)
+
+    # ------------------------------------------------------------------
+    @property
+    def tx(self) -> int:
+        return self.ftb // self.ft
+
+    @property
+    def ty(self) -> int:
+        return (self.w * self.h) // self.wt
+
+    @property
+    def threads(self) -> int:
+        return self.tx * self.ty
+
+    def block_spec(self) -> BlockSpec:
+        return BlockSpec(block_h=self.h, block_w=self.w)
+
+    # ------------------------------------------------------------------
+    def validate(self, kernel_size: int, n: int, warp_size: int = 32) -> None:
+        if n < 1:
+            raise ConfigurationError("vector width n must be positive")
+        if self.ftb % self.ft:
+            raise ConfigurationError("ftb must be divisible by ft")
+        if (self.w * self.h) % self.wt:
+            raise ConfigurationError("w*h must be divisible by wt")
+        if self.w % self.wt:
+            raise ConfigurationError(
+                "wt=%d output pixels per thread must stay within one row of w=%d"
+                % (self.wt, self.w)
+            )
+        if self.wt % n or self.ft % n or self.w % n:
+            raise ConfigurationError(
+                "wt, ft and w must be divisible by the vector width n=%d" % n
+            )
+        if self.threads % warp_size:
+            raise ConfigurationError(
+                "%d threads per block is not a whole number of warps" % self.threads
+            )
+        if kernel_size < 1:
+            raise ConfigurationError("kernel_size must be positive")
+
+    # ------------------------------------------------------------------
+    def smem_filter_pad(self, n: int) -> int:
+        """Padding elements appended to the transposed filter rows.
+
+        The filter block is stored transposed (Fig. 6), so rows of
+        ``ftb`` values are padded by one vector unit to keep successive
+        rows from landing on the same banks (Sec. 4.2).
+        """
+        return n
+
+    def smem_image_floats(self, kernel_size: int) -> int:
+        k = kernel_size
+        return self.csh * (self.h + k - 1) * (self.w + k - 1)
+
+    def smem_filter_floats(self, kernel_size: int, n: int) -> int:
+        k = kernel_size
+        return self.csh * k * k * (self.ftb + self.smem_filter_pad(n))
+
+    def smem_bytes(self, kernel_size: int, n: int, elem_bytes: int = 4) -> int:
+        return elem_bytes * (
+            self.smem_image_floats(kernel_size) + self.smem_filter_floats(kernel_size, n)
+        )
+
+    def registers_per_thread(self, kernel_size: int, n: int) -> int:
+        """Estimated register demand per thread (Algorithm 2, line 1).
+
+        ``rAcc[ft][wt]`` accumulators, the ``wt + K - 1`` image row,
+        ``ft`` filter values, the thread's share of the double-buffered
+        prefetch staging, and bookkeeping.
+        """
+        k = kernel_size
+        acc = self.ft * self.wt
+        row = self.wt + k - 1
+        flt = self.ft
+        prefetch = (
+            -(-self.smem_image_floats(k) // self.threads)
+            + -(-self.csh * k * k * self.ftb // self.threads)
+        )
+        return acc + row + flt + prefetch + _BOOKKEEPING_REGS
+
+
+#: Best special-case block found by the paper's design space exploration
+#: (Sec. 5.1): W = 256, H = 8.
+BEST_SPECIAL_CONFIG = SpecialCaseConfig(block_w=256, block_h=8)
+
+#: Paper Table 1: best general-case configurations on the K40m.
+TABLE1_CONFIGS = {
+    3: GeneralCaseConfig(w=32, h=4, ftb=64, wt=16, ft=4, csh=2),
+    5: GeneralCaseConfig(w=32, h=8, ftb=32, wt=8, ft=8, csh=1),
+    7: GeneralCaseConfig(w=64, h=4, ftb=32, wt=8, ft=8, csh=1),
+}

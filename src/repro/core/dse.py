@@ -1,0 +1,211 @@
+"""Design-space exploration (paper Sec. 5: "Through design space
+exploration, we determined that the best block size ..." and Table 1).
+
+The explorer enumerates kernel configurations over the same axes the
+paper tabulates (W, H, F_TB, W_T, F_T, C_SH for the general case; W, H
+for the special case), filters out configurations that violate the
+divisibility constraints or cannot be resident on the device, evaluates
+each survivor with the traced cost model + timing model on a
+representative workload, and ranks them.  ``reproduce_table1`` runs the
+search for the paper's three filter sizes and reports our best
+configuration next to the paper's.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.conv.tensors import ConvProblem
+from repro.core.config import GeneralCaseConfig, SpecialCaseConfig, TABLE1_CONFIGS
+from repro.errors import ConfigurationError, LaunchConfigError, ResourceError
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.gpu.timing import TimingModel
+
+__all__ = [
+    "RankedConfig",
+    "enumerate_special_configs",
+    "enumerate_general_configs",
+    "explore_special",
+    "explore_general",
+    "reproduce_table1",
+    "DEFAULT_SPECIAL_PROBLEM",
+    "default_general_problem",
+]
+
+#: Representative workload for ranking special-case configurations: a
+#: large grayscale image with a moderate filter bank.
+DEFAULT_SPECIAL_PROBLEM = ConvProblem.square(2048, 3, channels=1, filters=16)
+
+
+def default_general_problem(kernel_size: int) -> ConvProblem:
+    """Representative CNN layer for ranking general-case configurations."""
+    return ConvProblem.square(128, kernel_size, channels=64, filters=128)
+
+
+@dataclass(frozen=True)
+class RankedConfig:
+    """One explored configuration with its predicted performance."""
+
+    config: object              # SpecialCaseConfig or GeneralCaseConfig
+    gflops: float
+    occupancy: float
+    bound_by: str
+
+
+# ----------------------------------------------------------------------
+# Enumeration
+# ----------------------------------------------------------------------
+
+def enumerate_special_configs(
+    widths: Sequence[int] = (64, 128, 256, 512),
+    heights: Sequence[int] = (2, 4, 8, 16),
+) -> List[SpecialCaseConfig]:
+    return [
+        SpecialCaseConfig(block_w=w, block_h=h)
+        for w, h in itertools.product(widths, heights)
+    ]
+
+
+def enumerate_general_configs(
+    kernel_size: int,
+    n: int,
+    arch: GPUArchitecture = KEPLER_K40M,
+    widths: Sequence[int] = (16, 32, 64),
+    heights: Sequence[int] = (2, 4, 8),
+    ftbs: Sequence[int] = (16, 32, 64, 128),
+    wts: Sequence[int] = (4, 8, 16),
+    fts: Sequence[int] = (2, 4, 8, 16),
+    cshs: Sequence[int] = (1, 2, 4),
+) -> List[GeneralCaseConfig]:
+    """All constraint-satisfying configurations of the Table 1 axes."""
+    survivors = []
+    for w, h, ftb, wt, ft, csh in itertools.product(
+        widths, heights, ftbs, wts, fts, cshs
+    ):
+        if ft > ftb or wt > w * h:
+            continue
+        cfg = GeneralCaseConfig(w=w, h=h, ftb=ftb, wt=wt, ft=ft, csh=csh)
+        try:
+            cfg.validate(kernel_size, n, arch.warp_size)
+        except ConfigurationError:
+            continue
+        if cfg.threads > arch.max_threads_per_block:
+            continue
+        if cfg.smem_bytes(kernel_size, n) > arch.smem_per_block_max:
+            continue
+        regs = cfg.registers_per_thread(kernel_size, n)
+        if regs > arch.max_registers_per_thread:
+            continue
+        if regs * cfg.threads > arch.registers_per_sm:
+            # One block alone would not fit the SM's register file.
+            continue
+        survivors.append(cfg)
+    return survivors
+
+
+# ----------------------------------------------------------------------
+# Ranking
+# ----------------------------------------------------------------------
+
+def _rank(kernel_factory, configs, problem, arch) -> List[RankedConfig]:
+    model = TimingModel(arch)
+    ranked = []
+    for cfg in configs:
+        kernel = kernel_factory(cfg)
+        try:
+            breakdown = kernel.predict(problem, model)
+        except (ConfigurationError, LaunchConfigError, ResourceError):
+            continue
+        ranked.append(
+            RankedConfig(
+                config=cfg,
+                gflops=breakdown.gflops(problem.flops),
+                occupancy=breakdown.occupancy_fraction,
+                bound_by=breakdown.bound_by,
+            )
+        )
+    ranked.sort(key=lambda r: r.gflops, reverse=True)
+    return ranked
+
+
+def explore_special(
+    arch: GPUArchitecture = KEPLER_K40M,
+    problem: Optional[ConvProblem] = None,
+    configs: Optional[Sequence[SpecialCaseConfig]] = None,
+) -> List[RankedConfig]:
+    """Rank special-case blocks; the paper's answer is W=256, H=8."""
+    from repro.core.special import SpecialCaseKernel
+
+    problem = problem or DEFAULT_SPECIAL_PROBLEM
+    configs = configs if configs is not None else enumerate_special_configs()
+    return _rank(
+        lambda cfg: SpecialCaseKernel(arch=arch, config=cfg),
+        configs, problem, arch,
+    )
+
+
+def explore_general(
+    kernel_size: int,
+    arch: GPUArchitecture = KEPLER_K40M,
+    problem: Optional[ConvProblem] = None,
+    configs: Optional[Sequence[GeneralCaseConfig]] = None,
+) -> List[RankedConfig]:
+    """Rank general-case configurations for one filter size (Table 1)."""
+    from repro.core.bankwidth import matched_vector
+    from repro.core.general import GeneralCaseKernel
+
+    n = matched_vector(arch).n
+    problem = problem or default_general_problem(kernel_size)
+    if configs is None:
+        configs = enumerate_general_configs(kernel_size, n, arch)
+    return _rank(
+        lambda cfg: GeneralCaseKernel(arch=arch, config=cfg),
+        configs, problem, arch,
+    )
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Our explored best versus the paper's Table 1 for one filter size."""
+
+    kernel_size: int
+    paper: GeneralCaseConfig
+    ours: GeneralCaseConfig
+    ours_gflops: float
+    paper_gflops: float
+
+    @property
+    def paper_config_rank_gap(self) -> float:
+        """Predicted slowdown of the paper's config versus our best."""
+        return self.ours_gflops / self.paper_gflops if self.paper_gflops else 0.0
+
+
+def reproduce_table1(
+    arch: GPUArchitecture = KEPLER_K40M,
+    kernel_sizes: Sequence[int] = (3, 5, 7),
+) -> List[Table1Row]:
+    """Regenerate Table 1 by exploration and compare with the paper's."""
+    from repro.core.general import GeneralCaseKernel
+
+    rows = []
+    model = TimingModel(arch)
+    for k in kernel_sizes:
+        ranked = explore_general(k, arch)
+        if not ranked:
+            raise ConfigurationError("no valid configuration for K=%d" % k)
+        problem = default_general_problem(k)
+        paper_cfg = TABLE1_CONFIGS[k]
+        paper_kernel = GeneralCaseKernel(arch=arch, config=paper_cfg)
+        paper_gflops = paper_kernel.predict(problem, model).gflops(problem.flops)
+        rows.append(
+            Table1Row(
+                kernel_size=k,
+                paper=paper_cfg,
+                ours=ranked[0].config,
+                ours_gflops=ranked[0].gflops,
+                paper_gflops=paper_gflops,
+            )
+        )
+    return rows

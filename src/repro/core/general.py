@@ -1,0 +1,450 @@
+"""The general-case convolution kernel: multiple channels (paper Sec. 4).
+
+The kernel uses a 2-D thread-block grid: the X dimension covers groups
+of ``F_TB`` filters, the Y dimension covers ``H x W`` output blocks; a
+block iterates over all ``C`` channels, staging ``C_SH`` channels of
+image blocks and filters in shared memory per step (Fig. 6).  Threads
+form a ``TX x TY`` grid with the X (filter) dimension fastest; each
+thread accumulates an ``F_T x W_T`` register tile whose ``W_T`` output
+pixels are *contiguous along the row* — the paper's central deviation
+from blocked GEMM, which lets one register row of ``W_T + K - 1`` pixels
+feed ``K`` FMA rounds and cuts shared-memory image traffic by
+``(W_T + K - 1) / (W_T * K)`` (Sec. 4.2).
+
+The filter block is stored transposed in shared memory with padding so
+that the vectorized filter reads are conflict-free; image reads exploit
+the broadcast mechanism (all ``TX`` threads of a row read the same
+address).  Global loads are double-buffered (prefetch, Algorithm 2
+lines 8-9/17-18); the writeback is uncoalesced by design and the tracer
+prices it at store-sector granularity, confirming the paper's judgement
+that it is cheap enough to leave unoptimized.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.conv.blocking import BlockGrid
+from repro.conv.tensors import ConvProblem, Padding
+from repro.core.bankwidth import DataType, matched_vector
+from repro.core.config import TABLE1_CONFIGS, GeneralCaseConfig
+from repro.errors import ConfigurationError, ReproError, ShapeError
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.gpu.memory.banks import BankConflictPolicy
+from repro.gpu.simt import Dim3, LaunchConfig
+from repro.gpu.timing import TimingBreakdown, TimingModel
+from repro.gpu.trace import KernelCost, KernelTracer, cross_block_reuse
+
+__all__ = ["GeneralCaseKernel", "default_config_for", "SMALL_IMAGE_CONFIGS"]
+
+_F32 = 4
+
+
+def default_config_for(kernel_size: int, n: int) -> GeneralCaseConfig:
+    """The Table 1 configuration for ``kernel_size``, or a safe fallback.
+
+    Filter sizes outside Table 1 get a conservative configuration that
+    satisfies every divisibility constraint for ``n`` in {1, 2}.
+    """
+    if kernel_size in TABLE1_CONFIGS:
+        return TABLE1_CONFIGS[kernel_size]
+    fallback = GeneralCaseConfig(w=32, h=4, ftb=32, wt=8, ft=8, csh=1)
+    fallback.validate(kernel_size, n)
+    return fallback
+
+
+#: Narrow-block fallbacks for the adaptive mode: small images cannot
+#: fill the Table 1 tiles (the source of the paper's 32x32 caveat), so
+#: the selector may trade per-block efficiency for parallelism.
+SMALL_IMAGE_CONFIGS = (
+    GeneralCaseConfig(w=16, h=8, ftb=32, wt=8, ft=8, csh=2),
+    GeneralCaseConfig(w=16, h=4, ftb=64, wt=8, ft=8, csh=2),
+    GeneralCaseConfig(w=16, h=4, ftb=32, wt=4, ft=8, csh=2),
+    GeneralCaseConfig(w=8, h=8, ftb=32, wt=8, ft=8, csh=2),
+)
+
+
+class GeneralCaseKernel:
+    """Communication-reduced direct convolution for arbitrary C (Sec. 4)."""
+
+    def __init__(
+        self,
+        arch: GPUArchitecture = KEPLER_K40M,
+        config: Optional[GeneralCaseConfig] = None,
+        matched: bool = True,
+        bank_policy: BankConflictPolicy = BankConflictPolicy.WORD_MERGE,
+        dtype: DataType = DataType.FLOAT,
+        auto_config: bool = False,
+    ):
+        # ``dtype`` parameterizes the cost model only (paper Sec. 6:
+        # short data types raise the mismatch factor); functional
+        # execution stays in float32.  ``auto_config`` extends the
+        # paper's per-filter-size Table 1 with per-problem selection
+        # from a small palette — the natural fix for its 32x32 caveat.
+        self.arch = arch
+        self._config = config
+        self.matched = matched
+        self.bank_policy = bank_policy
+        self.dtype = dtype
+        self.elem_bytes = dtype.width
+        self.auto_config = auto_config
+        self.n = matched_vector(arch, dtype.width).n if matched else 1
+        self.name = "general[%s,%s,n=%d]" % (arch.name, dtype.label, self.n)
+
+    # ------------------------------------------------------------------
+    def config_for(self, problem: ConvProblem) -> GeneralCaseConfig:
+        if self._config is not None:
+            cfg = self._config
+        elif self.auto_config:
+            cfg = self.select_config(problem)
+        else:
+            cfg = default_config_for(problem.kernel_size, self.n)
+        cfg.validate(problem.kernel_size, self.n, self.arch.warp_size)
+        return cfg
+
+    def select_config(self, problem: ConvProblem) -> GeneralCaseConfig:
+        """Pick the best-predicted configuration for this problem.
+
+        Candidates are the filter size's Table 1 entry plus the
+        narrow-block fallbacks; each is evaluated with the full traced
+        cost + timing pipeline (the same machinery as
+        :mod:`repro.core.dse`, restricted to a shippable palette).
+        """
+        from repro.gpu.timing import TimingModel
+
+        k = problem.as_valid().kernel_size
+        model = TimingModel(self.arch)
+        best_cfg, best_time = None, float("inf")
+        for cand in (default_config_for(k, self.n),) + SMALL_IMAGE_CONFIGS:
+            try:
+                cand.validate(k, self.n, self.arch.warp_size)
+            except ConfigurationError:
+                continue
+            trial = GeneralCaseKernel(
+                arch=self.arch, config=cand, matched=self.matched,
+                bank_policy=self.bank_policy, dtype=self.dtype,
+            )
+            try:
+                t = model.evaluate(trial.cost(problem)).total
+            except ReproError:
+                continue
+            if t < best_time:
+                best_cfg, best_time = cand, t
+        if best_cfg is None:
+            raise ConfigurationError(
+                "no palette configuration is valid for K=%d, n=%d" % (k, self.n)
+            )
+        return best_cfg
+
+    def _check_problem(self, problem: ConvProblem) -> ConvProblem:
+        valid = problem.as_valid()
+        if valid.kernel_size > min(valid.height, valid.width):
+            raise ConfigurationError("filter larger than padded image")
+        return valid
+
+    def launch_config(self, problem: ConvProblem) -> LaunchConfig:
+        valid = self._check_problem(problem)
+        cfg = self.config_for(valid)
+        grid = BlockGrid(valid, cfg.block_spec())
+        fgroups = math.ceil(valid.filters / cfg.ftb)
+        k = valid.kernel_size
+        return LaunchConfig(
+            grid=Dim3(x=fgroups, y=grid.total_blocks),
+            block=Dim3(x=cfg.tx, y=cfg.ty),
+            registers_per_thread=cfg.registers_per_thread(k, self.n),
+            smem_per_block=cfg.smem_bytes(k, self.n, self.elem_bytes),
+        )
+
+    # ------------------------------------------------------------------
+    # Functional execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        image: np.ndarray,
+        filters: np.ndarray,
+        padding: Padding = Padding.VALID,
+    ) -> np.ndarray:
+        """Execute Algorithm 2 and return the ``(F, OH, OW)`` output."""
+        img = np.asarray(image, dtype=np.float32)
+        if img.ndim == 2:
+            img = img[np.newaxis]
+        flt = np.asarray(filters, dtype=np.float32)
+        if flt.ndim == 3:
+            flt = flt[:, np.newaxis]
+        if img.ndim != 3 or flt.ndim != 4:
+            raise ShapeError("image must be (C,H,W) and filters (F,C,K,K)")
+        if flt.shape[1] != img.shape[0]:
+            raise ShapeError(
+                "filters have %d channels, image has %d" % (flt.shape[1], img.shape[0])
+            )
+        if flt.shape[2] != flt.shape[3]:
+            raise ShapeError("filters must be square")
+
+        problem = ConvProblem(
+            height=img.shape[1],
+            width=img.shape[2],
+            channels=img.shape[0],
+            filters=flt.shape[0],
+            kernel_size=flt.shape[2],
+            padding=padding,
+        )
+        valid = self._check_problem(problem)
+        cfg = self.config_for(valid)
+        padded = problem.padded_image(img)
+
+        k = valid.kernel_size
+        c_total = valid.channels
+        f_total = valid.filters
+        grid = BlockGrid(valid, cfg.block_spec())
+        fgroups = math.ceil(f_total / cfg.ftb)
+        out = np.empty(problem.output_shape, dtype=np.float32)
+
+        # Per-thread-group pixel mapping: group ty covers WT contiguous
+        # pixels of row (ty*WT)//W starting at column (ty*WT)%W.
+        rows_of_ty = (np.arange(cfg.ty) * cfg.wt) // cfg.w
+        cols_of_ty = (np.arange(cfg.ty) * cfg.wt) % cfg.w
+
+        for view in grid:
+            # All channels of this block's footprint (zero-filled halo).
+            tile = np.stack([view.extract(padded[c]) for c in range(c_total)])
+            for fg in range(fgroups):
+                f_lo = fg * cfg.ftb
+                f_hi = min(f_lo + cfg.ftb, f_total)
+                block_out = self._run_block(
+                    tile, flt[f_lo:f_hi], cfg, k, rows_of_ty, cols_of_ty
+                )
+                out[
+                    f_lo:f_hi,
+                    view.out_y0 : view.out_y0 + view.out_rows,
+                    view.out_x0 : view.out_x0 + view.out_cols,
+                ] = block_out[:, : view.out_rows, : view.out_cols]
+        return out
+
+    def _run_block(
+        self,
+        tile: np.ndarray,
+        flt: np.ndarray,
+        cfg: GeneralCaseConfig,
+        k: int,
+        rows_of_ty: np.ndarray,
+        cols_of_ty: np.ndarray,
+    ) -> np.ndarray:
+        """One thread block: Algorithm 2's channel/row/round loop nest.
+
+        ``rAcc`` holds every thread's F_T x W_T register tile, laid out
+        as (filters-in-block, ty, wt); the per-round update is the outer
+        product of ``rFlt`` (F_T filter taps) with the shifted slice of
+        ``rImg`` (the W_T + K - 1 pixel register row).
+        """
+        f_here = flt.shape[0]
+        c_total = tile.shape[0]
+        racc = np.zeros((f_here, cfg.ty, cfg.wt), dtype=np.float32)
+        col_idx = cols_of_ty[:, np.newaxis] + np.arange(cfg.wt + k - 1)
+
+        # The CSH-channel staging (lines 4-5/17-18) only affects *where*
+        # data waits, not the accumulation order: iterate channels in
+        # chunks to mirror the loop structure (line 7/10).
+        for c_lo in range(0, c_total, cfg.csh):
+            for c in range(c_lo, min(c_lo + cfg.csh, c_total)):
+                for j in range(k):
+                    # Line 12: each thread's register row of WT+K-1 pixels.
+                    rimg = np.take_along_axis(
+                        tile[c][rows_of_ty + j], col_idx, axis=1
+                    )
+                    for kk in range(k):
+                        # Line 14: FT filter values; line 15: FMA round.
+                        rflt = flt[:, c, j, kk]
+                        racc += (
+                            rflt[:, np.newaxis, np.newaxis]
+                            * rimg[np.newaxis, :, kk : kk + cfg.wt]
+                        )
+        return racc.reshape(f_here, cfg.h, cfg.w)
+
+    # ------------------------------------------------------------------
+    # Traced cost
+    # ------------------------------------------------------------------
+    def cost(self, problem: ConvProblem) -> KernelCost:
+        valid = self._check_problem(problem)
+        cfg = self.config_for(valid)
+        k = valid.kernel_size
+        n = self.n
+        launch = self.launch_config(problem)
+        grid = BlockGrid(valid, cfg.block_spec())
+        fgroups = math.ceil(valid.filters / cfg.ftb)
+        blocks = float(grid.total_blocks * fgroups)
+        threads = cfg.threads
+        warps = math.ceil(threads / self.arch.warp_size)
+        c_total = valid.channels
+        chunks = math.ceil(c_total / cfg.csh)
+
+        tracer = KernelTracer(self.arch, self.bank_policy)
+        warp_lanes = self.arch.warp_size
+        lanes = np.arange(warp_lanes, dtype=np.int64)
+        elem = self.elem_bytes
+        unit = n * elem
+
+        img_row_floats = cfg.w + k - 1
+        img_rows = cfg.h + k - 1
+
+        # --- global loads: image rows of the staged chunk ------------------
+        # Each footprint row is one contiguous run; runs are strided by the
+        # image pitch, so they are traced per-row.  The row base is aligned
+        # to W floats (blocks start at multiples of W).
+        row_lanes = min(warp_lanes, math.ceil(img_row_floats / n))
+        row_pattern = np.arange(row_lanes, dtype=np.int64) * unit
+        full_row_reqs = math.ceil(img_row_floats / (n * warp_lanes))
+        # The TBX filter-group blocks at the same image location stream
+        # the same pixels; the footprint is tiny, so the L2 serves the
+        # repeats (symmetric with the credit the cuDNN baseline gets).
+        img_slab = valid.channels * valid.height * valid.width * elem
+        tracer.gmem_read(
+            row_pattern,
+            unit,
+            count=float(full_row_reqs) * img_rows * c_total * blocks,
+            site="gm.load_image",
+            l2_reuse=cross_block_reuse(self.arch, img_slab, fgroups),
+        )
+
+        # --- global loads: filter chunk (FTB runs of CSH*K*K floats) -------
+        run_floats = cfg.csh * k * k
+        stride = c_total * k * k * elem
+        flt_reuse = cross_block_reuse(
+            self.arch,
+            valid.filters * c_total * k * k * elem,
+            grid.total_blocks,
+        )
+        # The run base alignment cycles with the filter index and the
+        # channel-chunk offset; enumerate the actual distinct alignments
+        # and weight them by frequency (this makes the sector count
+        # exact, as the interpreter audit verifies).
+        seg = KernelTracer.SECTOR_BYTES
+        base_counts = {}
+        for f_idx in range(cfg.ftb):
+            for c_lo in range(0, c_total, cfg.csh):
+                b = (f_idx * stride + c_lo * k * k * elem) % seg
+                base_counts[b] = base_counts.get(b, 0) + 1
+        for base, freq in sorted(base_counts.items()):
+            # A run of CSH*K*K scalars splits into full-warp requests
+            # plus one remainder request with the leftover lanes.
+            full_reqs, rem = divmod(run_floats, warp_lanes)
+            if full_reqs:
+                pattern = base + np.arange(warp_lanes, dtype=np.int64) * elem
+                tracer.gmem_read(
+                    pattern, elem,
+                    count=float(full_reqs) * freq * blocks,
+                    site="gm.load_filter", l2_reuse=flt_reuse,
+                )
+            if rem:
+                rem_base = base + full_reqs * warp_lanes * elem
+                pattern = rem_base + np.arange(rem, dtype=np.int64) * elem
+                tracer.gmem_read(
+                    pattern, elem,
+                    count=float(freq) * blocks,
+                    site="gm.load_filter", l2_reuse=flt_reuse,
+                )
+
+        # --- shared-memory staging ------------------------------------------
+        img_units = cfg.csh * img_rows * math.ceil(img_row_floats / n)
+        tracer.smem_write(
+            lanes * unit,
+            unit,
+            count=img_units / warp_lanes * chunks * blocks,
+            site="sm.store_image",
+        )
+        # Transposed filter store: lane l writes shFlt[tap][f] with the
+        # filter index fastest; scalar stores (the transpose defeats
+        # vectorization).  Padding keeps successive tap rows off the same
+        # banks.
+        flt_row_stride = (cfg.ftb + cfg.smem_filter_pad(n)) * elem
+        t_of_lane = lanes // min(cfg.ftb, warp_lanes)
+        f_of_lane = lanes % min(cfg.ftb, warp_lanes)
+        store_pattern = t_of_lane * flt_row_stride + f_of_lane * elem
+        flt_values = cfg.csh * k * k * cfg.ftb
+        tracer.smem_write(
+            store_pattern,
+            elem,
+            count=flt_values / warp_lanes * chunks * blocks,
+            site="sm.store_filter",
+        )
+
+        # --- shared-memory reads: image register rows (line 12) -------------
+        # Address depends only on ty; TX lanes broadcast.  A warp holds
+        # warp/TX distinct ty values.
+        ty_per_warp = max(1, warp_lanes // cfg.tx)
+        u_img = math.ceil((cfg.wt + k - 1) / n)
+        ty_ids = (lanes // cfg.tx) % cfg.ty
+        for u in range(u_img):
+            addrs = (
+                (rows_of_ty_addr(cfg, k, ty_ids) + cols_addr(cfg, ty_ids)) * elem
+                + u * unit
+            )
+            tracer.smem_read(
+                addrs,
+                unit,
+                count=float(warps) * k * c_total * blocks,
+                site="sm.load_image_row",
+            )
+
+        # --- shared-memory reads: filter values (line 14) --------------------
+        u_flt = max(1, cfg.ft // n)
+        tx_ids = lanes % cfg.tx
+        for u in range(u_flt):
+            addrs = tx_ids * cfg.ft * elem + u * unit
+            tracer.smem_read(
+                addrs,
+                unit,
+                count=float(warps) * k * k * c_total * blocks,
+                site="sm.load_filter_row",
+            )
+
+        # --- compute ----------------------------------------------------------
+        tracer.flops(2.0 * k * k * c_total * cfg.ftb * cfg.w * cfg.h * blocks)
+
+        # --- writeback: uncoalesced by design (Sec. 4.2) ----------------------
+        # Lane tx writes filter map tx*FT + ff; maps are OH*OW apart.  Each
+        # thread writes its WT pixels as wide units; store sectors price it.
+        map_stride = valid.out_height * valid.out_width * elem
+        wide = 16 if (cfg.wt * elem) % 16 == 0 else unit
+        u_out = math.ceil(cfg.wt * elem / wide)
+        wb_addrs = tx_ids * cfg.ft * map_stride + ty_ids * cfg.wt * elem
+        for ff in range(cfg.ft):
+            for u in range(u_out):
+                addrs = wb_addrs + ff * map_stride + u * wide
+                addrs -= addrs % wide
+                tracer.gmem_write(
+                    addrs,
+                    wide,
+                    count=float(warps) * blocks,
+                    site="gm.store_out",
+                )
+
+        # --- barriers ----------------------------------------------------------
+        tracer.sync((2.0 * chunks + 2.0) * blocks)
+
+        return tracer.finish(
+            name=self.name, launch=launch, software_prefetch=True,
+        )
+
+    # ------------------------------------------------------------------
+    def predict(self, problem: ConvProblem,
+                model: Optional[TimingModel] = None) -> TimingBreakdown:
+        model = model or TimingModel(self.arch)
+        return model.evaluate(self.cost(problem))
+
+    def gflops(self, problem: ConvProblem,
+               model: Optional[TimingModel] = None) -> float:
+        return self.predict(problem, model).gflops(problem.flops)
+
+
+def rows_of_ty_addr(cfg: GeneralCaseConfig, k: int, ty_ids: np.ndarray) -> np.ndarray:
+    """Shared-memory float offsets of each ty group's current image row."""
+    rows = (ty_ids * cfg.wt) // cfg.w
+    return rows * (cfg.w + k - 1)
+
+
+def cols_addr(cfg: GeneralCaseConfig, ty_ids: np.ndarray) -> np.ndarray:
+    """Shared-memory float offsets of each ty group's starting column."""
+    return (ty_ids * cfg.wt) % cfg.w

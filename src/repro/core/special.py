@@ -1,0 +1,313 @@
+"""The special-case convolution kernel: one input channel (paper Sec. 3).
+
+The kernel partitions the output plane into ``H x W`` blocks (Fig. 4).
+A thread block of ``W / n`` threads sweeps the block top to bottom, one
+output row per step (Fig. 5); each thread produces ``n`` contiguous
+output pixels per row and keeps a ``K x (K + n - 1)`` pixel window in
+registers.  Shared memory holds a circular window of ``K`` image rows;
+the next row is prefetched from global memory into registers while the
+current row's convolutions execute, and stored to shared memory behind a
+barrier (Algorithm 1).  Filters live in constant memory and are read at
+the same tap by every thread in a warp — pure broadcasts.
+
+Two entry points:
+
+* :meth:`SpecialCaseKernel.run` executes the algorithm *functionally*
+  (exact float32 results, verified against the reference convolution in
+  the test suite), faithfully reproducing the circular shared-memory
+  window and the register-row rotation;
+* :meth:`SpecialCaseKernel.cost` replays every memory access site's
+  actual warp address patterns through the bank/coalescing/broadcast
+  models and returns the traffic ledger the timing model consumes.
+
+``matched=False`` builds the paper's "unmatched kernel" of Fig. 7b: the
+same algorithm with ``n`` forced to 1 (scalar ``float`` accesses), used
+to quantify the cost of ignoring the bank-width model.
+
+``dtype`` implements the paper's Sec. 6 future-work extension: for
+``half``/``char`` data the mismatch factor grows to 4/8 on Kepler (2/4
+on 4-byte-bank devices) and the kernel vectorizes accordingly.  The
+data type parameterizes the *cost model* (element widths in every
+traced access and in the resource/footprint accounting); functional
+execution stays in float32 — the arithmetic is not the object of the
+model, the traffic is.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.conv.blocking import BlockGrid
+from repro.conv.tensors import ConvProblem, Padding
+from repro.core.bankwidth import DataType, matched_vector
+from repro.core.config import BEST_SPECIAL_CONFIG, SpecialCaseConfig
+from repro.errors import ConfigurationError, ShapeError
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.gpu.memory.banks import BankConflictPolicy
+from repro.gpu.simt import Dim3, LaunchConfig
+from repro.gpu.timing import TimingBreakdown, TimingModel
+from repro.gpu.trace import KernelCost, KernelTracer
+
+__all__ = ["SpecialCaseKernel"]
+
+_F32 = 4  # bytes per float
+
+
+class SpecialCaseKernel:
+    """Communication-optimized direct convolution for C = 1 (Sec. 3)."""
+
+    def __init__(
+        self,
+        arch: GPUArchitecture = KEPLER_K40M,
+        config: SpecialCaseConfig = BEST_SPECIAL_CONFIG,
+        matched: bool = True,
+        bank_policy: BankConflictPolicy = BankConflictPolicy.WORD_MERGE,
+        dtype: DataType = DataType.FLOAT,
+    ):
+        self.arch = arch
+        self.config = config
+        self.matched = matched
+        self.bank_policy = bank_policy
+        self.dtype = dtype
+        self.elem_bytes = dtype.width
+        self.n = matched_vector(arch, dtype.width).n if matched else 1
+        self.name = "special[%s,%s,n=%d]" % (arch.name, dtype.label, self.n)
+
+    # ------------------------------------------------------------------
+    def _check_problem(self, problem: ConvProblem) -> ConvProblem:
+        if problem.channels != 1:
+            raise ConfigurationError(
+                "the special-case kernel handles one input channel, got %d"
+                % problem.channels
+            )
+        valid = problem.as_valid()
+        self.config.validate(valid.kernel_size, self.n, self.arch.warp_size)
+        cm_bytes = valid.filters * valid.kernel_size ** 2 * self.elem_bytes
+        if cm_bytes > self.arch.const_memory_size:
+            raise ConfigurationError(
+                "filters need %d bytes of constant memory, %s has %d"
+                % (cm_bytes, self.arch.name, self.arch.const_memory_size)
+            )
+        return valid
+
+    def launch_config(self, problem: ConvProblem) -> LaunchConfig:
+        valid = self._check_problem(problem)
+        grid = BlockGrid(valid, self.config.block_spec())
+        k = valid.kernel_size
+        return LaunchConfig(
+            grid=Dim3(x=grid.blocks_x, y=grid.blocks_y),
+            block=Dim3(x=self.config.threads(self.n)),
+            registers_per_thread=self.config.registers_per_thread(k, self.n),
+            smem_per_block=self.config.smem_bytes(k, self.n, self.elem_bytes),
+        )
+
+    # ------------------------------------------------------------------
+    # Functional execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        image: np.ndarray,
+        filters: np.ndarray,
+        padding: Padding = Padding.VALID,
+    ) -> np.ndarray:
+        """Execute Algorithm 1 and return the ``(F, OH, OW)`` output."""
+        img = np.asarray(image, dtype=np.float32)
+        if img.ndim == 3:
+            if img.shape[0] != 1:
+                raise ShapeError("special-case kernel takes a single-channel image")
+            img = img[0]
+        if img.ndim != 2:
+            raise ShapeError("image must be 2-D (H, W)")
+        flt = np.asarray(filters, dtype=np.float32)
+        if flt.ndim == 2:
+            flt = flt[np.newaxis]
+        if flt.ndim == 4:
+            if flt.shape[1] != 1:
+                raise ShapeError("filters must have one channel")
+            flt = flt[:, 0]
+        if flt.ndim != 3 or flt.shape[1] != flt.shape[2]:
+            raise ShapeError("filters must be (F, K, K) with square taps")
+
+        problem = ConvProblem(
+            height=img.shape[0],
+            width=img.shape[1],
+            channels=1,
+            filters=flt.shape[0],
+            kernel_size=flt.shape[1],
+            padding=padding,
+        )
+        valid = self._check_problem(problem)
+        padded = problem.padded_image(img)[0]
+
+        k = valid.kernel_size
+        cfg = self.config
+        grid = BlockGrid(valid, cfg.block_spec())
+        out = np.empty(problem.output_shape, dtype=np.float32)
+
+        for view in grid:
+            tile = view.extract(padded)          # (H + K - 1, W + K - 1)
+            block_out = self._run_block(tile, flt, k)
+            out[
+                :,
+                view.out_y0 : view.out_y0 + view.out_rows,
+                view.out_x0 : view.out_x0 + view.out_cols,
+            ] = block_out[:, : view.out_rows, : view.out_cols]
+        return out
+
+    def _run_block(self, tile: np.ndarray, flt: np.ndarray, k: int) -> np.ndarray:
+        """One thread block's sweep, with the circular SM row window.
+
+        ``tile`` has ``H + K - 1`` rows; rows are staged through a
+        K-slot circular buffer exactly as Algorithm 1 does, and the
+        per-thread register window is modeled as the K - 1 retained rows
+        plus the freshly loaded one.
+        """
+        cfg = self.config
+        h, w = cfg.block_h, cfg.block_w
+        f_count = flt.shape[0]
+        block_out = np.zeros((f_count, h, w), dtype=np.float32)
+
+        # Line 1: the first K rows of the block into shared memory.
+        smem = [tile[r].copy() for r in range(k)]
+        # Line 3: the first K - 1 rows into the threads' registers.
+        reg_rows = [smem[r].copy() for r in range(k - 1)]
+
+        for out_r in range(h):
+            # Line 5: prefetch the next image row into registers.
+            next_row_idx = out_r + k
+            if next_row_idx < tile.shape[0]:
+                prefetched = tile[next_row_idx].copy()
+            else:
+                prefetched = None
+            # Line 6: the latest row from shared memory into registers.
+            latest = smem[(out_r + k - 1) % k].copy()
+            window = reg_rows + [latest]
+            # Lines 7-8: n convolutions per thread for every filter.
+            for f in range(f_count):
+                acc = np.zeros(w, dtype=np.float32)
+                for dy in range(k):
+                    row = window[dy]
+                    for dx in range(k):
+                        acc += row[dx : dx + w] * flt[f, dy, dx]
+                block_out[f, out_r] = acc
+            # Line 10: the prefetched row replaces the oldest SM row.
+            if prefetched is not None:
+                smem[out_r % k] = prefetched
+            reg_rows = window[1:]
+        return block_out
+
+    # ------------------------------------------------------------------
+    # Traced cost
+    # ------------------------------------------------------------------
+    def cost(self, problem: ConvProblem) -> KernelCost:
+        """Replay the kernel's access sites through the memory models."""
+        valid = self._check_problem(problem)
+        cfg = self.config
+        k = valid.kernel_size
+        n = self.n
+        launch = self.launch_config(problem)
+        blocks = launch.total_blocks
+        threads = cfg.threads(n)
+        warps = math.ceil(threads / self.arch.warp_size)
+        h = cfg.block_h
+        f_count = valid.filters
+
+        tracer = KernelTracer(self.arch, self.bank_policy)
+        lanes = np.arange(self.arch.warp_size, dtype=np.int64)
+        elem = self.elem_bytes
+        unit = n * elem
+
+        rows_per_block = h + k - 1            # K initial + (H - 1) prefetched
+        # --- global loads of image rows (coalesced vector units) ----------
+        row_pattern = lanes * unit
+        tracer.gmem_read(
+            row_pattern, unit, count=float(warps * rows_per_block * blocks),
+            site="gm.load_row",
+        )
+        halo_units = math.ceil((k - 1) / n)
+        if halo_units:
+            halo_pattern = cfg.block_w * elem + np.arange(halo_units) * unit
+            tracer.gmem_read(
+                halo_pattern, unit, count=float(rows_per_block * blocks),
+                site="gm.load_row_halo",
+            )
+
+        # --- shared-memory staging of those rows -------------------------
+        tracer.smem_write(
+            row_pattern, unit, count=float(warps * rows_per_block * blocks),
+            site="sm.store_row",
+        )
+        if halo_units:
+            halo_sm = cfg.block_w * elem + np.arange(halo_units) * unit
+            tracer.smem_write(
+                halo_sm, unit, count=float(rows_per_block * blocks),
+                site="sm.store_row_halo",
+            )
+
+        # --- per-iteration register loads from shared memory --------------
+        # Each thread reads its K + n - 1 pixel row slice as vector units
+        # (line 6); the initial K - 1 rows are read the same way (line 3).
+        window_units = 1 + math.ceil((k - 1) / n)
+        row_reads = h + (k - 1)
+        for u in range(window_units):
+            pattern = (lanes + u) * unit
+            tracer.smem_read(
+                pattern, unit, count=float(warps * row_reads * blocks),
+                site="sm.load_window",
+            )
+
+        # --- constant-memory filter taps: one broadcast per FMA round -----
+        cm = self.arch
+        working_set = f_count * k * k * elem
+        hit = tracer.cmem.hit_rate(working_set)
+        broadcasts = float(warps * h * f_count * k * k * blocks)
+        tracer.cmem_read(np.zeros(cm.warp_size, dtype=np.int64), count=broadcasts,
+                         site="cm.filter_tap")
+        if hit < 1.0:
+            # Constant-cache misses fall through to DRAM, once per miss.
+            miss_reads = broadcasts * (1.0 - hit)
+            tracer.gmem_read(np.zeros(1, dtype=np.int64), elem, count=miss_reads,
+                             site="gm.cm_miss")
+
+        # --- compute -------------------------------------------------------
+        tracer.flops(2.0 * k * k * f_count * cfg.block_w * h * blocks)
+
+        # --- output writeback (vector units, coalesced) ---------------------
+        ow = valid.out_width
+        write_pattern = lanes * unit
+        if (ow * elem) % self.arch.gmem_transaction_size:
+            # Output rows are generally not segment-aligned (OW = N-K+1);
+            # sample an offset base as well and average implicitly by
+            # splitting the count across the two alignments.
+            tracer.gmem_write(write_pattern, unit,
+                              count=float(warps * h * f_count * blocks) / 2.0,
+                              site="gm.store_out")
+            tracer.gmem_write(write_pattern + unit, unit,
+                              count=float(warps * h * f_count * blocks) / 2.0,
+                              site="gm.store_out_misaligned")
+        else:
+            tracer.gmem_write(write_pattern, unit,
+                              count=float(warps * h * f_count * blocks),
+                              site="gm.store_out")
+
+        # --- barriers: two per row iteration plus the initial one -----------
+        tracer.sync(float((2 * h + 1) * blocks))
+
+        return tracer.finish(
+            name=self.name, launch=launch, software_prefetch=True,
+        )
+
+    # ------------------------------------------------------------------
+    def predict(self, problem: ConvProblem,
+                model: Optional[TimingModel] = None) -> TimingBreakdown:
+        """Estimated execution time for this kernel on ``problem``."""
+        model = model or TimingModel(self.arch)
+        return model.evaluate(self.cost(problem))
+
+    def gflops(self, problem: ConvProblem,
+               model: Optional[TimingModel] = None) -> float:
+        """Achieved GFlop/s normalized by the nominal operation count."""
+        return self.predict(problem, model).gflops(problem.flops)

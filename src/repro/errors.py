@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ArchitectureError(ReproError):
+    """An architecture description is inconsistent or unsupported."""
+
+
+class LaunchConfigError(ReproError):
+    """A kernel launch configuration violates architecture limits."""
+
+
+class ResourceError(ReproError):
+    """A kernel exceeds a hardware resource limit (registers, shared memory)."""
+
+
+class ConfigurationError(ReproError):
+    """A kernel tile/blocking configuration is invalid for the problem."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are inconsistent with the convolution problem."""
+
+
+class TraceError(ReproError):
+    """A memory-access trace request is malformed."""

@@ -1,0 +1,220 @@
+"""GPU architecture descriptions.
+
+The paper's experiments run on a Kepler K40m; its motivating comparison
+(Fig. 2) contrasts Kepler with Fermi, and its future-work section points
+at architectures with 4-byte shared-memory banks (Maxwell and later).
+This module captures the handful of architectural parameters that the
+paper's model depends on, plus the throughput numbers the timing model
+needs to convert traffic into time.
+
+The numbers below are taken from the vendor whitepapers / programming
+guide tables for each device.  Only parameters actually consumed by the
+simulation substrate are included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "GPUArchitecture",
+    "KEPLER_K40M",
+    "FERMI_M2090",
+    "MAXWELL_GM204",
+    "ARCHITECTURES",
+]
+
+
+@dataclass(frozen=True)
+class GPUArchitecture:
+    """Static description of a GPU device.
+
+    Attributes are grouped by subsystem.  All sizes are in bytes and all
+    rates in the unit given by the attribute name.
+    """
+
+    name: str
+    compute_capability: tuple
+
+    # --- execution resources -------------------------------------------------
+    sm_count: int
+    warp_size: int
+    clock_ghz: float
+    peak_sp_gflops: float
+
+    # --- shared memory -------------------------------------------------------
+    smem_bank_count: int
+    smem_bank_width: int          # 8 on Kepler (cc 3.x), 4 elsewhere
+    smem_per_sm: int
+    smem_per_block_max: int
+
+    # --- registers -----------------------------------------------------------
+    registers_per_sm: int         # 32-bit registers
+    max_registers_per_thread: int
+    register_alloc_unit: int      # allocation granularity, in registers
+
+    # --- thread limits ---------------------------------------------------------
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+
+    # --- constant memory -------------------------------------------------------
+    const_memory_size: int
+    const_cache_per_sm: int
+
+    # --- global memory ---------------------------------------------------------
+    gmem_transaction_size: int    # coalescing segment size
+    gmem_bandwidth_gbs: float     # peak DRAM bandwidth
+    gmem_achievable_fraction: float  # sustained fraction of peak (ECC, refresh)
+    l2_size: int                  # unified L2 cache size
+    l2_bandwidth_gbs: float       # aggregate L2 hit bandwidth
+
+    def __post_init__(self):
+        if self.warp_size <= 0 or self.sm_count <= 0:
+            raise ArchitectureError("warp_size and sm_count must be positive")
+        if self.smem_bank_width not in (4, 8):
+            raise ArchitectureError(
+                "smem_bank_width must be 4 or 8 bytes, got %r" % (self.smem_bank_width,)
+            )
+        if self.smem_bank_count <= 0 or self.smem_bank_count % 2:
+            raise ArchitectureError("smem_bank_count must be a positive even number")
+        if self.gmem_transaction_size <= 0:
+            raise ArchitectureError("gmem_transaction_size must be positive")
+        if not 0.0 < self.gmem_achievable_fraction <= 1.0:
+            raise ArchitectureError("gmem_achievable_fraction must be in (0, 1]")
+
+    # --- derived quantities ------------------------------------------------------
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    @property
+    def smem_bandwidth_bytes_per_sm_clock(self) -> int:
+        """Peak shared-memory bytes a single SM can deliver per clock."""
+        return self.smem_bank_count * self.smem_bank_width
+
+    @property
+    def smem_bandwidth_gbs(self) -> float:
+        """Aggregate peak shared-memory bandwidth of the whole device."""
+        return (
+            self.smem_bandwidth_bytes_per_sm_clock
+            * self.sm_count
+            * self.clock_hz
+            / 1e9
+        )
+
+    @property
+    def sustained_gmem_bandwidth_gbs(self) -> float:
+        return self.gmem_bandwidth_gbs * self.gmem_achievable_fraction
+
+    def bank_of(self, byte_address: int) -> int:
+        """Shared-memory bank serving ``byte_address``."""
+        return (byte_address // self.smem_bank_width) % self.smem_bank_count
+
+    def with_bank_width(self, width: int) -> "GPUArchitecture":
+        """A copy of this architecture with a different SM bank width.
+
+        Kepler exposes this switch through
+        ``cudaDeviceSetSharedMemConfig``; it is also how we model the
+        Fermi-vs-Kepler contrast on otherwise equal hardware.
+        """
+        return replace(self, smem_bank_width=width)
+
+
+#: Tesla K40m (GK110B, cc 3.5) — the device used in the paper's evaluation.
+#: Peak single-precision 4290 GFlop/s (paper, Sec. 5), 288 GB/s GDDR5.
+KEPLER_K40M = GPUArchitecture(
+    name="Kepler K40m",
+    compute_capability=(3, 5),
+    sm_count=15,
+    warp_size=32,
+    clock_ghz=0.745,
+    peak_sp_gflops=4290.0,
+    smem_bank_count=32,
+    smem_bank_width=8,
+    smem_per_sm=48 * 1024,
+    smem_per_block_max=48 * 1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_alloc_unit=256,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=16,
+    const_memory_size=64 * 1024,
+    const_cache_per_sm=8 * 1024,
+    gmem_transaction_size=128,
+    gmem_bandwidth_gbs=288.0,
+    gmem_achievable_fraction=0.75,
+    l2_size=1536 * 1024,
+    l2_bandwidth_gbs=600.0,
+)
+
+#: Tesla M2090 (GF110, cc 2.0) — the Fermi reference for Fig. 2's
+#: MAGMA-was-tuned-for-Fermi observation.
+FERMI_M2090 = GPUArchitecture(
+    name="Fermi M2090",
+    compute_capability=(2, 0),
+    sm_count=16,
+    warp_size=32,
+    clock_ghz=1.3,
+    peak_sp_gflops=1331.0,
+    smem_bank_count=32,
+    smem_bank_width=4,
+    smem_per_sm=48 * 1024,
+    smem_per_block_max=48 * 1024,
+    registers_per_sm=32768,
+    max_registers_per_thread=63,
+    register_alloc_unit=64,
+    max_threads_per_sm=1536,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=8,
+    const_memory_size=64 * 1024,
+    const_cache_per_sm=8 * 1024,
+    gmem_transaction_size=128,
+    gmem_bandwidth_gbs=177.0,
+    gmem_achievable_fraction=0.75,
+    l2_size=768 * 1024,
+    l2_bandwidth_gbs=350.0,
+)
+
+#: GeForce GTX 980 (GM204, cc 5.2) — a 4-byte-bank architecture for the
+#: paper's future-work discussion (short data types, Sec. 6).
+MAXWELL_GM204 = GPUArchitecture(
+    name="Maxwell GM204",
+    compute_capability=(5, 2),
+    sm_count=16,
+    warp_size=32,
+    clock_ghz=1.126,
+    peak_sp_gflops=4612.0,
+    smem_bank_count=32,
+    smem_bank_width=4,
+    smem_per_sm=96 * 1024,
+    smem_per_block_max=48 * 1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_alloc_unit=256,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    const_memory_size=64 * 1024,
+    const_cache_per_sm=8 * 1024,
+    gmem_transaction_size=128,
+    gmem_bandwidth_gbs=224.0,
+    gmem_achievable_fraction=0.80,
+    l2_size=2048 * 1024,
+    l2_bandwidth_gbs=700.0,
+)
+
+#: Name -> architecture registry used by the CLI and benchmarks.
+ARCHITECTURES = {
+    "kepler": KEPLER_K40M,
+    "fermi": FERMI_M2090,
+    "maxwell": MAXWELL_GM204,
+}

@@ -1,0 +1,22 @@
+"""Memory-hierarchy models: shared-memory banks, global-memory
+coalescing, constant-memory broadcast, and register accounting."""
+
+from repro.gpu.memory.banks import (
+    BankConflictPolicy,
+    SharedMemoryModel,
+    SmemAccessResult,
+)
+from repro.gpu.memory.globalmem import GlobalMemoryModel, GmemAccessResult
+from repro.gpu.memory.constmem import ConstantMemoryModel, CmemAccessResult
+from repro.gpu.memory.registers import RegisterFile
+
+__all__ = [
+    "BankConflictPolicy",
+    "SharedMemoryModel",
+    "SmemAccessResult",
+    "GlobalMemoryModel",
+    "GmemAccessResult",
+    "ConstantMemoryModel",
+    "CmemAccessResult",
+    "RegisterFile",
+]

@@ -1,0 +1,126 @@
+"""Human-readable reports for traced kernel costs — the simulated
+equivalent of an ``nvprof`` metrics page.
+
+:func:`format_cost` renders a :class:`~repro.gpu.trace.KernelCost` as a
+ledger summary plus a per-site table (executions, transactions, cycles,
+efficiency); :func:`format_breakdown` renders a
+:class:`~repro.gpu.timing.TimingBreakdown` as the component-time view.
+Both are plain text, suitable for examples and for eyeballing why a
+kernel lands where it does.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.timing import TimingBreakdown
+from repro.gpu.trace import KernelCost
+
+__all__ = ["format_cost", "format_breakdown", "format_occupancy"]
+
+
+def _human_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return "%.1f %s" % (value, unit)
+        value /= 1024.0
+    return "%.1f GiB" % value
+
+
+def _human_count(value: float) -> str:
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= scale:
+            return "%.2f%s" % (value / scale, suffix)
+    return "%.0f" % value
+
+
+def format_cost(cost: KernelCost) -> str:
+    """Render a kernel's traced traffic like a profiler metrics page."""
+    led = cost.ledger
+    launch = cost.launch
+    lines = []
+    lines.append("=== %s ===" % cost.name)
+    lines.append(
+        "launch: grid %dx%dx%d, block %d threads, %d regs/thread, %s smem/block"
+        % (launch.grid.x, launch.grid.y, launch.grid.z,
+           launch.threads_per_block, launch.registers_per_thread,
+           _human_bytes(launch.smem_per_block))
+    )
+    lines.append("flops             : %s" % _human_count(led.flops))
+    lines.append(
+        "gmem read         : %s moved (%.0f%% efficient), %s via L2"
+        % (_human_bytes(led.gmem_read_bytes_moved),
+           100 * min(1.0, led.gmem_read_efficiency),
+           _human_bytes(led.gmem_l2_bytes))
+    )
+    lines.append(
+        "gmem write        : %s moved (%.0f%% efficient)"
+        % (_human_bytes(led.gmem_write_bytes_moved),
+           100 * min(1.0, led.gmem_write_efficiency))
+    )
+    lines.append(
+        "smem              : %s requests, %s cycles (conflict overhead %.2fx)"
+        % (_human_count(led.smem_requests), _human_count(led.smem_cycles),
+           led.smem_conflict_overhead)
+    )
+    if led.cmem_requests:
+        lines.append(
+            "cmem              : %s broadcasts (%.2f serializations/request)"
+            % (_human_count(led.cmem_requests),
+               led.cmem_cycles / led.cmem_requests)
+        )
+    lines.append("arith intensity   : %.2f flops/DRAM byte" % led.arithmetic_intensity)
+
+    if led.sites:
+        lines.append("")
+        header = "%-34s %12s %12s %12s" % ("site", "executions", "transactions", "cycles")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in sorted(led.sites):
+            s = led.sites[name]
+            lines.append(
+                "%-34s %12s %12s %12s"
+                % (name, _human_count(s.executions),
+                   _human_count(s.transactions) if s.transactions else "-",
+                   _human_count(s.cycles) if s.cycles else "-")
+            )
+    return "\n".join(lines)
+
+
+def format_breakdown(tb: TimingBreakdown) -> str:
+    """Render a timing breakdown as the component-time view."""
+    parts = [
+        ("compute", tb.t_compute),
+        ("gmem (DRAM)", tb.t_gmem),
+        ("L2", tb.t_l2),
+        ("smem", tb.t_smem),
+        ("cmem", tb.t_cmem),
+        ("barriers", tb.t_sync),
+        ("launches", tb.t_launch),
+    ]
+    lines = ["=== timing: %s ===" % tb.name]
+    for label, t in parts:
+        bar = "#" * int(round(40 * t / tb.total)) if tb.total else ""
+        lines.append("%-12s %9.3f ms  %s" % (label, t * 1e3, bar))
+    lines.append(
+        "total %10.3f ms   bound by %s, eta %.2f, %.1f waves, occupancy %.0f%%"
+        % (tb.total * 1e3, tb.bound_by, tb.eta, tb.waves,
+           100 * tb.occupancy_fraction)
+    )
+    return "\n".join(lines)
+
+
+def format_occupancy(arch, launch) -> str:
+    """Render the occupancy calculator's view of a launch."""
+    from repro.gpu.occupancy import occupancy, occupancy_limits
+
+    limits = occupancy_limits(arch, launch)
+    occ = occupancy(arch, launch)
+    lines = ["=== occupancy on %s ===" % arch.name]
+    for name in sorted(limits, key=lambda k: limits[k]):
+        marker = "  <- limiter" if name == occ.limiter else ""
+        lines.append("%-10s allows %3d blocks/SM%s" % (name, limits[name], marker))
+    lines.append(
+        "resident: %d blocks = %d warps/SM (%.0f%% occupancy)"
+        % (occ.blocks_per_sm, occ.warps_per_sm,
+           100 * occ.occupancy_fraction(arch))
+    )
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Analytical timing model.
+
+Converts a :class:`~repro.gpu.trace.KernelCost` (traced traffic) into an
+execution-time estimate.  The model is a bounded-overlap roofline:
+
+1.  Each subsystem contributes a *throughput time* — the time it would
+    take if that subsystem were the only bottleneck and the whole
+    machine were busy:
+
+    * compute: ``flops / peak_sp_gflops``
+    * global memory: ``segments_moved * 128 B / sustained_bandwidth``
+    * shared memory: one warp request per SM per clock, serialized
+      cycles from the bank model
+    * constant memory: one broadcast per SM per clock
+
+2.  Subsystems overlap imperfectly.  With enough resident warps the
+    total approaches ``max(components)``; with few warps it degrades
+    toward ``sum(components)``.  The overlap efficiency ``eta`` grows
+    with resident warps per SM and saturates at ``eta_max``; software
+    prefetching (both of the paper's kernels, Algorithms 1–2) halves the
+    warps needed to reach saturation, because the prefetch distance
+    provides intra-thread overlap that otherwise must come from
+    inter-warp scheduling.
+
+3.  Small grids cannot fill the machine.  Three separate effects:
+    idle SMs (fewer blocks than SMs), insufficient resident warps to
+    saturate a busy SM's pipelines (``SAT_WARPS``), and — for grids
+    just over a whole number of waves — a partial tail wave priced at
+    ``(floor(waves) + sqrt(frac)) / waves``.  Together these reproduce
+    the paper's observation that its general-case kernel can lose to
+    cuDNN only on very small images (Sec. 5.2).
+
+4.  ``__syncthreads`` barriers and kernel launches add fixed costs.
+
+All constants are architecture-independent and documented below; none
+are tuned per experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.occupancy import occupancy
+from repro.gpu.trace import KernelCost
+
+__all__ = ["TimingBreakdown", "TimingModel"]
+
+#: Host-side cost of one kernel launch (driver + queueing), seconds.
+LAUNCH_OVERHEAD_S = 5e-6
+
+#: Pipeline cost of one block-wide barrier, cycles.
+SYNC_CYCLES = 30.0
+
+#: Resident warps per SM needed to fully hide latency without software
+#: prefetching (Kepler needs ~halfway occupancy for bandwidth-bound code).
+HIDE_WARPS = 16.0
+
+#: With software prefetching the same hiding needs fewer warps.
+HIDE_WARPS_PREFETCH = 6.0
+
+#: Resident warps per SM needed to saturate the SM's issue/memory
+#: pipelines at all (below this, raw throughput scales down even for a
+#: perfectly overlapped kernel).
+SAT_WARPS = 8.0
+
+#: Upper bound on overlap efficiency — issue overheads and barriers keep
+#: real kernels below perfect overlap.
+ETA_MAX = 0.92
+
+#: Fraction of the theoretical FMA peak a well-tuned register-blocked
+#: kernel can sustain.  Dual-issue limits, operand-collector stalls and
+#: address arithmetic cap even cuBLAS SGEMM at ~70% of peak on Kepler
+#: (3.0 of 4.29 TFlop/s on a K40m); this is that cap, applied uniformly
+#: to every kernel's compute component.
+COMPUTE_EFFICIENCY = 0.70
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Component times (seconds) and derived totals for one launch."""
+
+    name: str
+    t_compute: float
+    t_gmem: float
+    t_l2: float
+    t_smem: float
+    t_cmem: float
+    t_sync: float
+    t_launch: float
+    eta: float                  # overlap efficiency actually applied
+    waves: float                # grid waves over the machine
+    occupancy_fraction: float
+    total: float                # end-to-end estimate, seconds
+
+    @property
+    def bound_by(self) -> str:
+        """Which throughput component dominates."""
+        parts = {
+            "compute": self.t_compute,
+            "gmem": self.t_gmem,
+            "l2": self.t_l2,
+            "smem": self.t_smem,
+            "cmem": self.t_cmem,
+        }
+        return max(parts, key=lambda k: parts[k])
+
+    def gflops(self, flops: float) -> float:
+        """Achieved GFlop/s for a nominal operation count."""
+        if self.total <= 0:
+            raise TraceError("cannot compute a rate for non-positive time")
+        return flops / self.total / 1e9
+
+
+class TimingModel:
+    """Bounded-overlap roofline evaluator for one architecture."""
+
+    def __init__(
+        self,
+        arch: GPUArchitecture,
+        launch_overhead_s: float = LAUNCH_OVERHEAD_S,
+        sync_cycles: float = SYNC_CYCLES,
+        hide_warps: float = HIDE_WARPS,
+        hide_warps_prefetch: float = HIDE_WARPS_PREFETCH,
+        sat_warps: float = SAT_WARPS,
+        eta_max: float = ETA_MAX,
+        compute_efficiency: float = COMPUTE_EFFICIENCY,
+    ):
+        self.arch = arch
+        self.launch_overhead_s = launch_overhead_s
+        self.sync_cycles = sync_cycles
+        self.hide_warps = hide_warps
+        self.hide_warps_prefetch = hide_warps_prefetch
+        self.sat_warps = sat_warps
+        self.eta_max = eta_max
+        self.compute_efficiency = compute_efficiency
+
+    # ------------------------------------------------------------------
+    def evaluate(self, cost: KernelCost) -> TimingBreakdown:
+        arch = self.arch
+        led = cost.ledger
+        occ = occupancy(arch, cost.launch)
+
+        t_compute = led.flops / (arch.peak_sp_gflops * 1e9 * self.compute_efficiency)
+        t_gmem = led.gmem_bytes_moved / (arch.sustained_gmem_bandwidth_gbs * 1e9)
+        t_l2 = led.gmem_l2_bytes / (arch.l2_bandwidth_gbs * 1e9)
+        per_sm_clock = arch.sm_count * arch.clock_hz
+        t_smem = led.smem_cycles / per_sm_clock
+        t_cmem = led.cmem_cycles / per_sm_clock
+
+        components = (t_compute, t_gmem, t_l2, t_smem, t_cmem)
+        t_max = max(components)
+        t_sum = sum(components)
+
+        # Warps actually resident per busy SM: capped by the occupancy
+        # limit, but a small grid may not supply enough blocks to reach
+        # it.
+        blocks = cost.launch.total_blocks
+        warps_per_block = occ.warps_per_block
+        resident_blocks = min(
+            float(occ.blocks_per_sm), max(1.0, blocks / arch.sm_count)
+        )
+        warps_resident = warps_per_block * resident_blocks
+
+        hide = self.hide_warps_prefetch if cost.software_prefetch else self.hide_warps
+        eta = self.eta_max * min(1.0, warps_resident / hide)
+
+        busy = t_max + (1.0 - eta) * (t_sum - t_max)
+
+        # Raw throughput scaling: too few resident warps cannot keep an
+        # SM's pipelines busy, and a grid smaller than the SM count
+        # leaves whole SMs idle.  The square root reflects instruction-
+        # level parallelism: register-tiled kernels issue many
+        # independent operations per warp, so throughput degrades
+        # sub-linearly as warps thin out.
+        u_warps = min(1.0, math.sqrt(warps_resident / self.sat_warps))
+        sm_fill = min(1.0, blocks / arch.sm_count)
+        busy /= u_warps * sm_fill
+
+        slots = occ.blocks_per_sm * arch.sm_count
+        waves = blocks / slots
+        if waves >= 1.0:
+            # Partial-wave model: the tail wave drains early in
+            # proportion to its fill; the square root reflects that
+            # lone tail blocks get a whole SM pipeline to themselves
+            # but cannot fully saturate it (between the linear-
+            # optimistic and full-wave-pessimistic extremes).
+            full, frac = divmod(waves, 1.0)
+            busy *= (full + math.sqrt(frac)) / waves
+
+        # Barriers: blocks on one SM overlap each other, so charge the
+        # per-block barrier chain once per resident slot per wave.
+        syncs_per_block = led.syncthreads / max(cost.launch.total_blocks, 1)
+        t_sync = syncs_per_block * self.sync_cycles * math.ceil(waves) / arch.clock_hz
+
+        t_launch = self.launch_overhead_s * cost.launches
+
+        total = busy + t_sync + t_launch
+        return TimingBreakdown(
+            name=cost.name,
+            t_compute=t_compute,
+            t_gmem=t_gmem,
+            t_l2=t_l2,
+            t_smem=t_smem,
+            t_cmem=t_cmem,
+            t_sync=t_sync,
+            t_launch=t_launch,
+            eta=eta,
+            waves=waves,
+            occupancy_fraction=occ.occupancy_fraction(arch),
+            total=total,
+        )

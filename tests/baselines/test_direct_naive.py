@@ -1,0 +1,57 @@
+"""Tests for the naive direct convolution baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.direct_naive import NaiveDirectKernel
+from repro.conv.reference import conv2d_reference
+from repro.conv.tensors import ConvProblem
+
+
+@pytest.fixture
+def kernel():
+    return NaiveDirectKernel()
+
+
+class TestFunctional:
+    def test_matches_reference(self, rng, kernel):
+        img = rng.standard_normal((3, 12, 14)).astype(np.float32)
+        flt = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(
+            kernel.run(img, flt), conv2d_reference(img, flt),
+            rtol=1e-4, atol=1e-4,
+        )
+
+
+class TestCost:
+    def test_no_shared_memory_used(self, kernel):
+        p = ConvProblem.square(64, 3, channels=16, filters=32)
+        led = kernel.cost(p).ledger
+        assert led.smem_requests == 0
+
+    def test_rereads_scale_with_taps(self, kernel):
+        p3 = ConvProblem.square(128, 3, channels=32, filters=32)
+        p7 = ConvProblem.square(128, 7, channels=32, filters=32)
+        r3 = kernel.cost(p3).ledger.gmem_l2_bytes
+        r7 = kernel.cost(p7).ledger.gmem_l2_bytes
+        assert r7 > 3 * r3
+
+    def test_launch_covers_outputs(self, kernel):
+        p = ConvProblem.square(64, 3, channels=4, filters=8)
+        lc = kernel.launch_config(p)
+        assert lc.total_threads >= p.filters * p.out_height * p.out_width
+
+
+class TestShape:
+    def test_much_slower_than_optimized_kernels(self, kernel):
+        from repro.core.general import GeneralCaseKernel
+
+        p = ConvProblem.square(128, 3, channels=64, filters=128)
+        naive = kernel.gflops(p)
+        ours = GeneralCaseKernel().gflops(p)
+        assert ours > 4 * naive
+
+    def test_bound_by_memory(self, kernel):
+        p = ConvProblem.square(128, 3, channels=64, filters=128)
+        tb = kernel.predict(p)
+        assert tb.bound_by in ("gmem", "l2")

@@ -1,0 +1,103 @@
+"""Tests for the cuDNN-like implicit-GEMM convolution baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gemm import GemmTiling
+from repro.baselines.implicit_gemm import DEFAULT_TILE_PALETTE, ImplicitGemmKernel
+from repro.conv.reference import conv2d_reference
+from repro.conv.tensors import ConvProblem, Padding
+
+
+@pytest.fixture
+def kernel():
+    return ImplicitGemmKernel()
+
+
+class TestFunctional:
+    def test_matches_reference(self, rng, kernel):
+        img = rng.standard_normal((4, 18, 22)).astype(np.float32)
+        flt = rng.standard_normal((6, 4, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(
+            kernel.run(img, flt), conv2d_reference(img, flt),
+            rtol=1e-3, atol=1e-3,
+        )
+
+    def test_same_padding(self, rng, kernel):
+        img = rng.standard_normal((2, 14, 14)).astype(np.float32)
+        flt = rng.standard_normal((3, 2, 5, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            kernel.run(img, flt, Padding.SAME),
+            conv2d_reference(img, flt, Padding.SAME),
+            rtol=1e-3, atol=1e-3,
+        )
+
+
+class TestGemmMapping:
+    def test_gemm_shape(self):
+        p = ConvProblem.square(34, 3, channels=8, filters=16)
+        s = ImplicitGemmKernel.gemm_shape(p)
+        assert (s.m, s.n, s.k) == (16, 32 * 32, 8 * 9)
+
+    def test_tile_selection_prefers_skinny_for_small_f(self, kernel):
+        small_f = ConvProblem.square(512, 3, channels=1, filters=8)
+        assert kernel.select_tiling(small_f).bm == 32
+
+    def test_tile_selection_prefers_big_for_big_problem(self, kernel):
+        big = ConvProblem.square(128, 3, channels=128, filters=256)
+        assert kernel.select_tiling(big).bm >= 64
+
+    def test_explicit_tiling_honoured(self):
+        t = GemmTiling(bm=64, bn=64, bk=8, tm=4, tn=4, n=1)
+        kern = ImplicitGemmKernel(tiling=t)
+        assert kern.select_tiling(ConvProblem.square(64, 3, channels=4)) is t
+
+
+class TestCostShape:
+    def test_padding_waste_at_f1(self, kernel):
+        """F=1 executes a >=32-wide padded tile: flops far above nominal."""
+        p = ConvProblem.square(512, 3, channels=1, filters=1)
+        assert kernel.cost(p).flops > 10 * p.flops
+
+    def test_image_regathered_per_tap(self, kernel):
+        """The implicit lowering re-reads the image ~K*K times (through
+        L2); the paper's kernels avoid exactly this."""
+        p = ConvProblem.square(128, 3, channels=64, filters=128)
+        led = kernel.cost(p).ledger
+        assert led.gmem_l2_bytes > 5 * led.gmem_read_bytes_moved
+
+    def test_scalar_smem_reads(self, kernel):
+        for t in DEFAULT_TILE_PALETTE:
+            assert t.n == 1  # the paper's premise: cuDNN is unmatched
+
+    def test_launch_valid(self, kernel):
+        p = ConvProblem.square(64, 3, channels=16, filters=64)
+        kernel.launch_config_ok = kernel.cost(p)  # must not raise
+
+
+class TestVersusPaper:
+    def test_loses_to_special_kernel_generally(self):
+        from repro.core.special import SpecialCaseKernel
+
+        ours = SpecialCaseKernel()
+        cudnn = ImplicitGemmKernel()
+        p = ConvProblem.square(2048, 3, channels=1, filters=8)
+        assert ours.gflops(p) > 2 * cudnn.gflops(p)
+
+    def test_loses_to_general_kernel_on_large_layers(self):
+        from repro.core.general import GeneralCaseKernel
+
+        ours = GeneralCaseKernel()
+        cudnn = ImplicitGemmKernel()
+        p = ConvProblem.square(224, 3, channels=64, filters=128)
+        assert ours.gflops(p) > cudnn.gflops(p)
+
+    def test_competitive_on_tiny_images(self):
+        """Paper Sec. 5.2: only at 32x32 may cuDNN win slightly."""
+        from repro.core.general import GeneralCaseKernel
+
+        ours = GeneralCaseKernel()
+        cudnn = ImplicitGemmKernel()
+        p = ConvProblem.square(32, 3, channels=128, filters=128)
+        ratio = ours.gflops(p) / cudnn.gflops(p)
+        assert 0.8 < ratio < 1.5

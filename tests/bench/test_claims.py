@@ -1,0 +1,69 @@
+"""Tests for the paper-claims verifier."""
+
+import pytest
+
+from repro.bench.claims import (
+    PAPER_CLAIMS,
+    ClaimResult,
+    format_claim_results,
+    verify_claims,
+)
+
+
+class TestRegistry:
+    def test_claims_cover_every_results_section(self):
+        sections = " ".join(c.section for c in PAPER_CLAIMS)
+        for needle in ("2.1", "3.2", "4.2", "5.1", "5.2", "6", "Table 1"):
+            assert needle in sections
+
+    def test_ids_unique(self):
+        ids = [c.claim_id for c in PAPER_CLAIMS]
+        assert len(set(ids)) == len(ids)
+
+    def test_at_least_a_dozen_claims(self):
+        assert len(PAPER_CLAIMS) >= 12
+
+
+class TestVerification:
+    def test_subset_selection(self):
+        pairs = verify_claims(["bankwidth-gain", "sm-reduction"])
+        assert len(pairs) == 2
+        assert all(r.supported for _, r in pairs)
+
+    def test_unknown_ids_yield_empty(self):
+        assert verify_claims(["nonexistent"]) == []
+
+    def test_fast_claims_all_supported(self):
+        fast = ["bankwidth-gain", "magma-slowdown", "magma-saving",
+                "f1-speedup", "unmatched-penalty", "small-image-caveat",
+                "gm-optimality", "writeback-cheap", "sm-reduction",
+                "short-dtypes"]
+        pairs = verify_claims(fast)
+        assert len(pairs) == len(fast)
+        for claim, result in pairs:
+            assert result.supported, claim.claim_id
+
+
+class TestFormatting:
+    def test_table_contains_verdicts(self):
+        pairs = [(PAPER_CLAIMS[0], ClaimResult(measured="2.00x", supported=True)),
+                 (PAPER_CLAIMS[1], ClaimResult(measured="9x", supported=False,
+                                               note="why"))]
+        text = format_claim_results(pairs)
+        assert "SUPPORTED" in text and "DIVERGES" in text
+        assert "note: why" in text
+        assert "1/2 claims supported" in text
+
+
+class TestCli:
+    def test_cli_claims_subset(self, capsys):
+        from repro.cli import main
+
+        assert main(["claims", "bankwidth-gain", "sm-reduction"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 claims supported" in out
+
+    def test_cli_unknown_claim(self, capsys):
+        from repro.cli import main
+
+        assert main(["claims", "bogus"]) == 2

@@ -1,0 +1,209 @@
+"""Tests for the experiment builders: every figure regenerates with the
+paper's qualitative shape.
+
+These are the repository's statement of reproduction: each test asserts
+the *direction and rough magnitude* the paper reports, not absolute
+GFlop/s (our substrate is a simulator, not the authors' K40m).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    ALL_EXPERIMENTS,
+    ablation_adaptive_config,
+    ablation_bank_policy,
+    ablation_prefetch,
+    ablation_thread_layout,
+    ablation_unmatched,
+    ablation_writeback,
+    extension_all_methods,
+    extension_fft_batch,
+    extension_fp16_conv,
+    extension_short_dtypes,
+    extension_stencil,
+    extension_training,
+    fig1_bank_patterns,
+    fig2_gemm,
+    fig7_special,
+    fig8_general,
+)
+
+
+class TestFig1:
+    def test_paper_policy_shows_serialization(self):
+        exp = fig1_bank_patterns()
+        paper_row = next(r for r in exp.rows if "paper" in r.label)
+        assert paper_row.values["conventional"] == 2.0
+        assert paper_row.values["matched"] == 1.0
+
+    def test_word_merge_hides_it_in_cycles(self):
+        exp = fig1_bank_patterns()
+        merge_row = next(r for r in exp.rows if "word-merge" in r.label)
+        assert merge_row.values["conventional"] == 1.0
+
+
+class TestFig2:
+    def test_kepler_ordering(self):
+        exp = fig2_gemm()
+        for row in exp.rows:
+            assert row.values["cuBLAS"] < row.values["MAGMA mod."]
+            assert row.values["MAGMA mod."] < row.values["MAGMA"]
+
+    def test_magma_slowdown_factor(self):
+        exp = fig2_gemm()
+        mean = exp.mean_ratio("MAGMA", "cuBLAS")
+        assert 1.6 < mean < 3.2  # paper: 2.4x
+
+    def test_matching_savings(self):
+        exp = fig2_gemm()
+        savings = [1 - r.values["MAGMA mod."] / r.values["MAGMA"]
+                   for r in exp.rows]
+        assert 0.25 < np.mean(savings) < 0.55  # paper: 36%
+
+    def test_time_monotone_in_dimension(self):
+        exp = fig2_gemm()
+        times = exp.series("cuBLAS")
+        assert times == sorted(times)
+
+
+class TestFig7:
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_ours_wins_on_average(self, k):
+        exp = fig7_special(k)
+        assert exp.mean_ratio("ours", "cuDNN") > 2.0
+
+    def test_f1_rows_win_by_more_than_10x(self):
+        exp = fig7_special(3)
+        for row in exp.rows:
+            if "F=1" in row.label and "N=512" not in row.label:
+                assert row.ratio("ours", "cuDNN") > 10.0
+
+    def test_unmatched_penalty_on_large_f(self):
+        exp = fig7_special(3)
+        penalties = [
+            1 - r.values["unmatched"] / r.values["ours"]
+            for r in exp.rows if "F=32" in r.label
+        ]
+        # Paper: 19% slower on average for the 3x3 filter.
+        assert 0.05 < np.mean(penalties) < 0.30
+
+    def test_average_gain_in_paper_regime(self):
+        means = [fig7_special(k).mean_ratio("ours", "cuDNN") for k in (1, 3, 5)]
+        overall = np.mean(means)
+        # Paper: 5.16x average.  Accept the same order of magnitude.
+        assert 3.0 < overall < 12.0
+
+
+class TestFig8:
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_ours_wins_on_average(self, k):
+        exp = fig8_general(k)
+        mean_gain = exp.mean_ratio("ours", "cuDNN") - 1
+        # Paper: 30.5% / 45.3% / 30.8%.
+        assert 0.10 < mean_gain < 0.80
+
+    def test_overall_average_improvement(self):
+        means = [fig8_general(k).mean_ratio("ours", "cuDNN") for k in (3, 5, 7)]
+        overall = np.mean(means) - 1
+        assert 0.20 < overall < 0.55  # paper: 35.5%
+
+    def test_losses_only_at_smaller_images(self):
+        # Paper: losses only at 32x32 ("may be a little slower").  Our
+        # model agrees for K=3 (0.99x at 32x32) and additionally loses
+        # up to ~35% at 32x32 / ~12% at 64x64 for the big filters,
+        # where the paper's fixed Table-1 tiles (W=64 for K=7) cannot
+        # tile a 26-pixel output without massive overcompute; see
+        # EXPERIMENTS.md.
+        for k in (3, 5, 7):
+            exp = fig8_general(k)
+            for row in exp.rows:
+                ratio = row.ratio("ours", "cuDNN")
+                if ratio < 0.95:
+                    assert "N=32," in row.label or "N=64," in row.label
+                    assert ratio > (0.60 if "N=32," in row.label else 0.85)
+
+    def test_peak_performance_near_half_machine_peak(self):
+        exp = fig8_general(3)
+        peak = max(exp.series("ours"))
+        # Paper: 2020 GFlop/s (47% of 4290).
+        assert 1700 < peak < 3000
+
+
+class TestAblations:
+    def test_unmatched_general_degrades(self):
+        exp = ablation_unmatched()
+        for row in exp.rows:
+            assert row.values["unmatched"] < row.values["matched"]
+
+    def test_bank_policy_doubles_unmatched_serialization(self):
+        exp = ablation_bank_policy()
+        unmatched = next(r for r in exp.rows if r.label == "unmatched")
+        assert unmatched.values["paper-policy"] == pytest.approx(2.0, rel=0.01)
+        assert unmatched.values["word-merge"] == pytest.approx(1.0, rel=0.01)
+
+    def test_writeback_time_share_small(self):
+        exp = ablation_writeback()
+        for row in exp.rows:
+            assert row.values["write share"] < 10.0  # "very little time"
+
+    def test_prefetch_helps_at_low_occupancy(self):
+        exp = ablation_prefetch()
+        low = next(r for r in exp.rows if "low-occupancy" in r.label)
+        assert low.values["prefetch"] > low.values["no prefetch"]
+
+    def test_thread_layout_factors_below_half(self):
+        exp = ablation_thread_layout()
+        for row in exp.rows:
+            assert row.values["(WT+K-1)/(WT*K)"] < 0.5
+
+
+class TestExtensions:
+    def test_short_dtypes_gain_on_both_archs(self):
+        exp = extension_short_dtypes()
+        half = next(r for r in exp.rows if r.label == "half")
+        assert half.values["Kepler K40m"] == pytest.approx(4.0)
+        assert half.values["Maxwell GM204"] == pytest.approx(2.0)
+        flt = next(r for r in exp.rows if r.label == "float")
+        assert flt.values["Maxwell GM204"] == pytest.approx(1.0)
+
+    def test_all_methods_ordering(self):
+        exp = extension_all_methods()
+        for row in exp.rows:
+            assert row.values["ours"] > row.values["naive"]
+            assert row.values["ours"] > row.values["FFT"]
+
+
+class TestNewExtensions:
+    def test_dtype_conv_penalty_escalates(self):
+        exp = extension_fp16_conv()
+        pens = [r.values["penalty %"] for r in exp.rows]
+        assert pens == sorted(pens)
+        assert pens[-1] > 50
+
+    def test_adaptive_config_dominates_fixed(self):
+        exp = ablation_adaptive_config()
+        for row in exp.rows:
+            assert row.values["adaptive"] >= 0.999 * row.values["fixed"]
+
+    def test_stencil_matched_wins(self):
+        exp = extension_stencil()
+        for row in exp.rows:
+            assert row.values["matched"] >= row.values["unmatched"]
+
+    def test_training_table_complete(self):
+        exp = extension_training()
+        assert len(exp.rows) == 3
+        for row in exp.rows:
+            assert set(row.values) == {"forward", "dgrad", "wgrad"}
+
+    def test_fft_batch_crossover_exists(self):
+        exp = extension_fft_batch()
+        ratios = exp.ratios("FFT", "ours")
+        assert ratios[0] < 1.0 < ratios[-1]
+
+
+class TestRegistry:
+    def test_all_experiments_buildable_ids(self):
+        assert "fig2" in ALL_EXPERIMENTS and "table1" in ALL_EXPERIMENTS
+        assert len(ALL_EXPERIMENTS) >= 21

@@ -1,0 +1,57 @@
+"""Tests for the roofline analysis module."""
+
+import pytest
+
+from repro.baselines.direct_naive import NaiveDirectKernel
+from repro.baselines.implicit_gemm import ImplicitGemmKernel
+from repro.bench.roofline import RooflinePoint, roofline_point, roofline_report
+from repro.conv.tensors import ConvProblem
+from repro.core.general import GeneralCaseKernel
+from repro.core.special import SpecialCaseKernel
+
+
+@pytest.fixture
+def layer():
+    return ConvProblem.square(128, 3, channels=64, filters=128)
+
+
+class TestRooflinePoint:
+    def test_achieved_below_roof(self, layer):
+        for kernel in (GeneralCaseKernel(), ImplicitGemmKernel(),
+                       NaiveDirectKernel()):
+            pt = roofline_point(kernel, layer)
+            assert pt.achieved_gflops <= pt.roof_gflops * 1.02
+            assert 0.0 < pt.roof_fraction <= 1.02
+
+    def test_naive_is_memory_bound(self, layer):
+        pt = roofline_point(NaiveDirectKernel(), layer)
+        assert pt.bound == "memory"
+        assert pt.intensity < 14.0  # left of the Kepler ridge
+
+    def test_general_kernel_is_compute_bound(self, layer):
+        pt = roofline_point(GeneralCaseKernel(), layer)
+        assert pt.bound == "compute"
+        assert pt.roof_fraction > 0.7
+
+    def test_special_kernel_memory_bound(self):
+        p = ConvProblem.square(1024, 3, channels=1, filters=8)
+        pt = roofline_point(SpecialCaseKernel(), p)
+        assert pt.bound == "memory"
+
+    def test_ours_closer_to_its_roof_than_cudnn(self, layer):
+        ours = roofline_point(GeneralCaseKernel(), layer)
+        cudnn = roofline_point(ImplicitGemmKernel(), layer)
+        assert ours.roof_fraction > cudnn.roof_fraction
+
+
+class TestReport:
+    def test_report_lists_all_kernels(self, layer):
+        text = roofline_report(
+            {"ours": GeneralCaseKernel(), "naive": NaiveDirectKernel()}, layer)
+        assert "ours" in text and "naive" in text
+        assert "ridge" in text
+
+    def test_report_mentions_machine_roofs(self, layer):
+        text = roofline_report({"ours": GeneralCaseKernel()}, layer)
+        assert "Kepler" in text
+        assert "GB/s" in text

@@ -1,0 +1,131 @@
+"""Tests for convolution gradients (training-side operators)."""
+
+import numpy as np
+import pytest
+
+from repro.conv.gradients import (
+    conv2d_input_gradient,
+    conv2d_weight_gradient,
+    input_gradient_problem,
+    weight_gradient_problem,
+)
+from repro.conv.reference import conv2d_reference
+from repro.conv.tensors import ConvProblem
+from repro.errors import ConfigurationError, ShapeError
+
+
+def random_layer(rng, c=3, f=4, n=12, k=3):
+    img = rng.standard_normal((c, n, n)).astype(np.float32)
+    flt = rng.standard_normal((f, c, k, k)).astype(np.float32)
+    g = rng.standard_normal((f, n - k + 1, n - k + 1)).astype(np.float32)
+    return img, flt, g
+
+
+class TestAdjointIdentities:
+    """<g, conv(x, W)> = <dgrad(g, W), x> = <wgrad(x, g), W>."""
+
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_input_gradient_is_adjoint(self, rng, k):
+        img, flt, g = random_layer(rng, k=k)
+        lhs = float(np.sum(g * conv2d_reference(img, flt)))
+        dx = conv2d_input_gradient(g, flt)
+        rhs = float(np.sum(dx * img))
+        assert lhs == pytest.approx(rhs, rel=1e-3)
+
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_weight_gradient_is_adjoint(self, rng, k):
+        img, flt, g = random_layer(rng, k=k)
+        lhs = float(np.sum(g * conv2d_reference(img, flt)))
+        dw = conv2d_weight_gradient(img, g, k)
+        rhs = float(np.sum(dw * flt))
+        assert lhs == pytest.approx(rhs, rel=1e-3)
+
+    def test_finite_difference_spot_check(self, rng):
+        img, flt, g = random_layer(rng, c=2, f=2, n=8, k=3)
+        dw = conv2d_weight_gradient(img, g, 3)
+        eps = 1e-2
+        bumped = flt.copy()
+        bumped[1, 0, 2, 1] += eps
+        loss = lambda w: float(np.sum(g * conv2d_reference(img, w)))
+        numeric = (loss(bumped) - loss(flt)) / eps
+        assert numeric == pytest.approx(dw[1, 0, 2, 1], rel=1e-2)
+
+
+class TestShapes:
+    def test_input_gradient_shape(self, rng):
+        img, flt, g = random_layer(rng, c=3, f=5, n=14, k=5)
+        assert conv2d_input_gradient(g, flt).shape == img.shape
+
+    def test_weight_gradient_shape(self, rng):
+        img, flt, g = random_layer(rng, c=3, f=5, n=14, k=5)
+        assert conv2d_weight_gradient(img, g, 5).shape == flt.shape
+
+    def test_mismatched_grad_rejected(self, rng):
+        img, flt, g = random_layer(rng)
+        with pytest.raises(ShapeError):
+            conv2d_weight_gradient(img, g[:, :-1], 3)
+
+    def test_filter_count_mismatch_rejected(self, rng):
+        img, flt, g = random_layer(rng)
+        with pytest.raises(ShapeError):
+            conv2d_input_gradient(g[:-1], flt)
+
+
+class TestKernelMappings:
+    def test_dgrad_problem_swaps_channels_and_filters(self):
+        p = ConvProblem.square(64, 3, channels=16, filters=32)
+        q = input_gradient_problem(p)
+        assert (q.channels, q.filters) == (32, 16)
+        assert (q.out_height, q.out_width) == (p.height, p.width)
+
+    def test_dgrad_runs_on_general_kernel(self, rng):
+        """The mapped problem produces exactly conv2d_input_gradient."""
+        from repro.core.config import GeneralCaseConfig
+        from repro.core.general import GeneralCaseKernel
+
+        img, flt, g = random_layer(rng, c=3, f=4, n=20, k=3)
+        pad = 2
+        g_padded = np.pad(g, ((0, 0), (pad, pad), (pad, pad)))
+        w_rot = np.ascontiguousarray(flt[:, :, ::-1, ::-1].transpose(1, 0, 2, 3))
+        kern = GeneralCaseKernel(
+            config=GeneralCaseConfig(w=16, h=8, ftb=16, wt=8, ft=4, csh=2))
+        via_kernel = kern.run(g_padded, w_rot)
+        np.testing.assert_allclose(
+            via_kernel, conv2d_input_gradient(g, flt), rtol=1e-3, atol=1e-3)
+
+    def test_dgrad_costable(self):
+        from repro.core.general import GeneralCaseKernel
+
+        p = ConvProblem.square(64, 3, channels=16, filters=32)
+        q = input_gradient_problem(p)
+        assert GeneralCaseKernel().gflops(q) > 0
+
+    def test_wgrad_problem_for_late_layer(self):
+        p = ConvProblem.square(16, 3, channels=256, filters=64)  # OH=14
+        q = weight_gradient_problem(p)
+        assert q.channels == 1
+        assert q.kernel_size == 14
+        assert q.filters == 64
+        # Output of the mapped problem is exactly the K x K taps.
+        assert (q.out_height, q.out_width) == (3, 3)
+
+    def test_wgrad_costable_on_special_kernel(self):
+        from repro.core.config import SpecialCaseConfig
+        from repro.core.special import SpecialCaseKernel
+
+        p = ConvProblem.square(16, 3, channels=256, filters=8)
+        q = weight_gradient_problem(p)
+        kern = SpecialCaseKernel(config=SpecialCaseConfig(block_w=64, block_h=2))
+        # One launch per input channel.
+        per_channel = kern.predict(q).total
+        assert per_channel > 0
+
+    def test_wgrad_rejects_large_gradient_maps(self):
+        p = ConvProblem.square(224, 3, channels=3, filters=64)  # OH=222
+        with pytest.raises(ConfigurationError):
+            weight_gradient_problem(p)
+
+    def test_wgrad_rejects_rectangular(self):
+        p = ConvProblem(height=16, width=18, channels=4, filters=4, kernel_size=3)
+        with pytest.raises(ConfigurationError):
+            weight_gradient_problem(p)

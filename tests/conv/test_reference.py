@@ -1,0 +1,86 @@
+"""Tests for the reference convolution against scipy and by hand."""
+
+import numpy as np
+import pytest
+from scipy.signal import correlate2d
+
+from repro.conv.reference import conv2d_reference, conv2d_single_channel
+from repro.conv.tensors import Padding
+from repro.errors import ShapeError
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("k", [1, 3, 5, 7])
+    def test_single_channel_valid(self, rng, k):
+        img = rng.standard_normal((20, 24)).astype(np.float32)
+        flt = rng.standard_normal((k, k)).astype(np.float32)
+        ours = conv2d_single_channel(img, flt)
+        ref = correlate2d(img, flt, mode="valid")
+        np.testing.assert_allclose(ours[0], ref, rtol=1e-4, atol=1e-4)
+
+    def test_multi_channel_sums_channels(self, rng):
+        img = rng.standard_normal((3, 16, 16)).astype(np.float32)
+        flt = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        out = conv2d_reference(img, flt)
+        for f in range(2):
+            ref = sum(
+                correlate2d(img[c], flt[f, c], mode="valid") for c in range(3)
+            )
+            np.testing.assert_allclose(out[f], ref, rtol=1e-4, atol=1e-4)
+
+    def test_same_padding(self, rng):
+        img = rng.standard_normal((10, 10)).astype(np.float32)
+        flt = rng.standard_normal((3, 3)).astype(np.float32)
+        ours = conv2d_single_channel(img, flt, padding=Padding.SAME)
+        ref = correlate2d(img, flt, mode="same")
+        np.testing.assert_allclose(ours[0], ref, rtol=1e-4, atol=1e-4)
+
+
+class TestAlgebra:
+    def test_delta_filter_is_identity(self, rng):
+        img = rng.standard_normal((12, 12)).astype(np.float32)
+        delta = np.zeros((3, 3), dtype=np.float32)
+        delta[0, 0] = 1.0
+        out = conv2d_single_channel(img, delta)
+        np.testing.assert_allclose(out[0], img[:10, :10])
+
+    def test_linearity_in_filters(self, rng):
+        img = rng.standard_normal((10, 10)).astype(np.float32)
+        f1 = rng.standard_normal((3, 3)).astype(np.float32)
+        f2 = rng.standard_normal((3, 3)).astype(np.float32)
+        lhs = conv2d_single_channel(img, f1 + f2)
+        rhs = conv2d_single_channel(img, f1) + conv2d_single_channel(img, f2)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-4, atol=1e-4)
+
+    def test_ones_filter_is_box_sum(self):
+        img = np.ones((6, 6), dtype=np.float32)
+        out = conv2d_single_channel(img, np.ones((3, 3), dtype=np.float32))
+        np.testing.assert_allclose(out[0], np.full((4, 4), 9.0))
+
+    def test_k1_is_scaling(self, rng):
+        img = rng.standard_normal((8, 8)).astype(np.float32)
+        out = conv2d_single_channel(img, np.array([[2.0]], dtype=np.float32))
+        np.testing.assert_allclose(out[0], 2.0 * img)
+
+
+class TestShapes:
+    def test_rectangular_image(self, rng):
+        img = rng.standard_normal((2, 9, 17)).astype(np.float32)
+        flt = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        assert conv2d_reference(img, flt).shape == (4, 7, 15)
+
+    def test_channel_mismatch_rejected(self, rng):
+        img = rng.standard_normal((2, 8, 8)).astype(np.float32)
+        flt = rng.standard_normal((1, 3, 3, 3)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            conv2d_reference(img, flt)
+
+    def test_nonsquare_filter_rejected(self, rng):
+        img = rng.standard_normal((1, 8, 8)).astype(np.float32)
+        flt = rng.standard_normal((1, 1, 3, 5)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            conv2d_reference(img, flt)
+
+    def test_single_channel_rejects_3d(self, rng):
+        with pytest.raises(ShapeError):
+            conv2d_single_channel(rng.standard_normal((2, 8, 8)), np.ones((3, 3)))

@@ -1,0 +1,66 @@
+"""Tests for the workload sweeps."""
+
+import pytest
+
+from repro.conv.workloads import (
+    GENERAL_FILTER_SIZES,
+    SPECIAL_FILTER_SIZES,
+    alexnet_layers,
+    gemm_sweep_dims,
+    general_case_sweep,
+    special_case_sweep,
+    vgg_layers,
+)
+
+
+class TestSpecialSweep:
+    @pytest.mark.parametrize("k", SPECIAL_FILTER_SIZES)
+    def test_all_points_single_channel(self, k):
+        for pt in special_case_sweep(k):
+            assert pt.problem.channels == 1
+            assert pt.problem.kernel_size == k
+
+    def test_includes_f1_low_overlap_regime(self):
+        assert any(pt.problem.filters == 1 for pt in special_case_sweep(3))
+
+    def test_labels_unique(self):
+        labels = [pt.label for pt in special_case_sweep(3)]
+        assert len(set(labels)) == len(labels)
+
+    def test_unknown_filter_size_rejected(self):
+        with pytest.raises(ValueError):
+            special_case_sweep(7)
+
+
+class TestGeneralSweep:
+    @pytest.mark.parametrize("k", GENERAL_FILTER_SIZES)
+    def test_points_valid(self, k):
+        pts = general_case_sweep(k)
+        assert len(pts) >= 8
+        for pt in pts:
+            assert pt.problem.channels >= 32
+            assert pt.problem.kernel_size == k
+
+    def test_includes_small_image_caveat_point(self):
+        assert any(pt.problem.height == 32 for pt in general_case_sweep(3))
+
+    def test_unknown_filter_size_rejected(self):
+        with pytest.raises(ValueError):
+            general_case_sweep(9)
+
+
+class TestPresets:
+    def test_gemm_dims_cover_2k_to_8k(self):
+        dims = gemm_sweep_dims()
+        assert min(dims) == 2048 and max(dims) == 8192
+
+    def test_vgg_layers_shapes(self):
+        layers = vgg_layers()
+        assert len(layers) == 5
+        assert layers[0].problem.height == 224
+        assert all(pt.problem.kernel_size == 3 for pt in layers)
+
+    def test_alexnet_layers(self):
+        layers = alexnet_layers()
+        assert any(pt.problem.kernel_size == 5 for pt in layers)
+        assert all(pt.label.startswith("alexnet.") for pt in layers)

@@ -1,0 +1,81 @@
+"""Tests for the communication analysis (paper Secs. 2.2/3.2/4.2)."""
+
+import pytest
+
+from repro.conv.tensors import ConvProblem
+from repro.core.analysis import (
+    audit_general_kernel,
+    audit_special_kernel,
+    gm_lower_bound_bytes,
+    gm_traffic_ratio_vs_gemm,
+    pixel_reuse_bound,
+    sm_image_traffic_ratio,
+    special_gm_read_overhead,
+)
+from repro.core.config import BEST_SPECIAL_CONFIG, TABLE1_CONFIGS
+from repro.core.general import GeneralCaseKernel
+from repro.core.special import SpecialCaseKernel
+
+
+class TestClosedForms:
+    def test_pixel_reuse_is_kkf(self):
+        p = ConvProblem.square(64, 3, filters=10)
+        assert pixel_reuse_bound(p) == 90
+
+    def test_gm_lower_bound(self):
+        p = ConvProblem.square(16, 3, channels=2, filters=4)
+        assert gm_lower_bound_bytes(p) == (
+            p.image_bytes + p.filter_bytes + p.output_bytes
+        )
+
+    def test_sm_traffic_factor_paper_values(self):
+        # K=3 with WT=16: (16+2)/(16*3) = 0.375.
+        assert sm_image_traffic_ratio(TABLE1_CONFIGS[3], 3) == pytest.approx(0.375)
+        # K=5 with WT=8: 12/40 = 0.3.
+        assert sm_image_traffic_ratio(TABLE1_CONFIGS[5], 5) == pytest.approx(0.3)
+
+    def test_gm_ratio_is_one_over_k(self):
+        assert gm_traffic_ratio_vs_gemm(5) == pytest.approx(0.2)
+
+    def test_special_overhead_scale_invariant(self):
+        # The halo fraction is per-block, so it does not depend on the
+        # image size once blocks tile the output.
+        small = special_gm_read_overhead(
+            ConvProblem.square(256, 3), BEST_SPECIAL_CONFIG)
+        large = special_gm_read_overhead(
+            ConvProblem.square(4096, 3), BEST_SPECIAL_CONFIG)
+        assert large == pytest.approx(small, rel=0.02)
+        assert small > 1.0
+
+
+class TestSpecialAudit:
+    def test_traced_traffic_matches_halo_model(self):
+        p = ConvProblem.square(2048, 3, channels=1, filters=16)
+        audit = audit_special_kernel(SpecialCaseKernel(), p)
+        assert audit.matches_model
+        assert audit.near_optimal
+        assert audit.conflict_free
+
+    def test_overhead_above_one(self):
+        p = ConvProblem.square(1024, 5, channels=1, filters=8)
+        audit = audit_special_kernel(SpecialCaseKernel(), p)
+        assert audit.overhead >= 1.0
+
+    def test_k1_is_exactly_one_pass(self):
+        p = ConvProblem.square(2048, 1, channels=1, filters=8)
+        audit = audit_special_kernel(SpecialCaseKernel(), p)
+        assert audit.overhead == pytest.approx(1.0, rel=0.05)
+
+
+class TestGeneralAudit:
+    def test_traced_traffic_matches_decomposition_model(self):
+        p = ConvProblem.square(128, 3, channels=64, filters=128)
+        audit = audit_general_kernel(GeneralCaseKernel(), p)
+        assert audit.matches_model
+        assert audit.conflict_free
+
+    def test_overhead_reported_relative_to_unique_bytes(self):
+        p = ConvProblem.square(128, 5, channels=64, filters=128)
+        audit = audit_general_kernel(GeneralCaseKernel(), p)
+        assert audit.gm_lower_bound == p.image_bytes + p.filter_bytes
+        assert audit.overhead > 1.0

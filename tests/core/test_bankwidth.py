@@ -1,0 +1,106 @@
+"""Tests for the bank-width matching model (paper Sec. 2.1)."""
+
+import pytest
+
+from repro.core.bankwidth import (
+    DataType,
+    VectorSpec,
+    conventional_pattern,
+    matched_pattern,
+    matched_vector,
+    mismatch_factor,
+    smem_bandwidth_gain,
+)
+from repro.errors import ConfigurationError
+from repro.gpu.memory.banks import BankConflictPolicy
+
+
+class TestMismatchFactor:
+    def test_float_on_kepler_is_two(self, kepler):
+        assert mismatch_factor(kepler, 4) == 2
+
+    def test_float_on_fermi_is_matched(self, fermi):
+        assert mismatch_factor(fermi, 4) == 1
+
+    def test_half_mismatched_everywhere(self, any_arch):
+        # Sec. 6: short dtypes are mismatched even on 4-byte banks.
+        assert mismatch_factor(any_arch, 2) >= 2
+
+    def test_char_on_kepler_is_eight(self, kepler):
+        assert mismatch_factor(kepler, 1) == 8
+
+    def test_double_on_kepler_matched(self, kepler):
+        assert mismatch_factor(kepler, 8) == 1
+
+    def test_indivisible_width_treated_as_matched(self, kepler):
+        assert mismatch_factor(kepler, 3) == 1
+
+    def test_rejects_nonpositive(self, kepler):
+        with pytest.raises(ConfigurationError):
+            mismatch_factor(kepler, 0)
+
+
+class TestVectorSpec:
+    def test_matched_vector_name_on_kepler(self, kepler):
+        assert matched_vector(kepler, 4).name == "float2"
+        assert matched_vector(kepler, 2).name == "half4"
+
+    def test_matched_vector_on_fermi(self, fermi):
+        spec = matched_vector(fermi, 4)
+        assert spec.n == 1 and spec.name == "float"
+
+    def test_unit_bytes_equals_bank_width_when_matched(self, any_arch):
+        spec = matched_vector(any_arch, 4)
+        if spec.n > 1:
+            assert spec.unit_bytes == any_arch.smem_bank_width
+
+    def test_datatype_table(self):
+        assert DataType.FLOAT.width == 4
+        assert DataType.HALF.width == 2
+        assert DataType.CHAR.width == 1
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorSpec(data_width=4, n=0)
+
+
+class TestPatterns:
+    def test_conventional_pattern(self):
+        assert list(conventional_pattern(4, 4)) == [0, 4, 8, 12]
+
+    def test_matched_pattern(self):
+        assert list(matched_pattern(4, 4, 2)) == [0, 8, 16, 24]
+
+    def test_base_offset(self):
+        assert conventional_pattern(2, 4, base=100)[0] == 100
+
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(ConfigurationError):
+            conventional_pattern(0, 4)
+        with pytest.raises(ConfigurationError):
+            matched_pattern(4, 4, 0)
+
+
+class TestBandwidthGain:
+    def test_kernel_framing_word_merge_gain_is_n(self, kepler):
+        assert smem_bandwidth_gain(kepler, 4) == pytest.approx(2.0)
+
+    def test_fig1_framing_paper_policy_gain_is_n(self, kepler):
+        g = smem_bandwidth_gain(kepler, 4, policy=BankConflictPolicy.PAPER,
+                                framing="fig1")
+        assert g == pytest.approx(2.0)
+
+    def test_matched_arch_gain_is_one(self, fermi):
+        assert smem_bandwidth_gain(fermi, 4) == 1.0
+
+    def test_short_dtypes_gain_more(self, kepler):
+        assert smem_bandwidth_gain(kepler, 2) == pytest.approx(4.0)
+        assert smem_bandwidth_gain(kepler, 1) == pytest.approx(8.0)
+
+    def test_half_on_maxwell_gains_two(self, maxwell):
+        # The paper's future-work claim, quantified.
+        assert smem_bandwidth_gain(maxwell, 2) == pytest.approx(2.0)
+
+    def test_invalid_framing_rejected(self, kepler):
+        with pytest.raises(ConfigurationError):
+            smem_bandwidth_gain(kepler, 4, framing="bogus")

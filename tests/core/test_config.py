@@ -1,0 +1,116 @@
+"""Tests for kernel configurations (paper Table 1, Secs. 3.1/4.1)."""
+
+import pytest
+
+from repro.core.config import (
+    BEST_SPECIAL_CONFIG,
+    TABLE1_CONFIGS,
+    GeneralCaseConfig,
+    SpecialCaseConfig,
+)
+from repro.errors import ConfigurationError
+from repro.gpu.arch import KEPLER_K40M
+from repro.gpu.occupancy import occupancy
+from repro.gpu.simt import Dim3, LaunchConfig
+
+
+class TestSpecialConfig:
+    def test_paper_best_block(self):
+        assert (BEST_SPECIAL_CONFIG.block_w, BEST_SPECIAL_CONFIG.block_h) == (256, 8)
+
+    def test_threads_scale_with_vector_width(self):
+        cfg = BEST_SPECIAL_CONFIG
+        assert cfg.threads(1) == 256
+        assert cfg.threads(2) == 128
+
+    def test_smem_holds_k_rows(self):
+        cfg = SpecialCaseConfig(block_w=64, block_h=4)
+        assert cfg.smem_bytes(3, 2) == 3 * 66 * 4
+        assert cfg.smem_row_floats(3, 2) == 66  # 64+2 is already even
+
+    def test_smem_row_padded_to_vector(self):
+        cfg = SpecialCaseConfig(block_w=64, block_h=4)
+        # K=4 is hypothetical but exercises rounding: 64+3 -> 68.
+        assert cfg.smem_row_floats(4, 2) == 68
+
+    def test_register_window_grows_with_k_and_n(self):
+        cfg = BEST_SPECIAL_CONFIG
+        assert cfg.registers_per_thread(5, 2) > cfg.registers_per_thread(3, 2)
+        assert cfg.registers_per_thread(3, 2) > cfg.registers_per_thread(3, 1)
+
+    def test_validate_rejects_nondivisible_width(self):
+        cfg = SpecialCaseConfig(block_w=10, block_h=4)
+        with pytest.raises(ConfigurationError):
+            cfg.validate(3, 4)
+
+    def test_validate_rejects_partial_warp(self):
+        cfg = SpecialCaseConfig(block_w=48, block_h=4)
+        with pytest.raises(ConfigurationError):
+            cfg.validate(3, 1)  # 48 threads is 1.5 warps
+
+
+class TestTable1:
+    def test_paper_values_verbatim(self):
+        c3 = TABLE1_CONFIGS[3]
+        assert (c3.w, c3.h, c3.ftb, c3.wt, c3.ft, c3.csh) == (32, 4, 64, 16, 4, 2)
+        c5 = TABLE1_CONFIGS[5]
+        assert (c5.w, c5.h, c5.ftb, c5.wt, c5.ft, c5.csh) == (32, 8, 32, 8, 8, 1)
+        c7 = TABLE1_CONFIGS[7]
+        assert (c7.w, c7.h, c7.ftb, c7.wt, c7.ft, c7.csh) == (64, 4, 32, 8, 8, 1)
+
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_all_table1_configs_valid_and_resident(self, k):
+        cfg = TABLE1_CONFIGS[k]
+        cfg.validate(k, 2)
+        launch = LaunchConfig(
+            grid=Dim3(100),
+            block=Dim3(cfg.tx, cfg.ty),
+            registers_per_thread=cfg.registers_per_thread(k, 2),
+            smem_per_block=cfg.smem_bytes(k, 2),
+        )
+        occ = occupancy(KEPLER_K40M, launch)
+        assert occ.blocks_per_sm >= 1
+
+    @pytest.mark.parametrize("k", [3, 5, 7])
+    def test_thread_counts_are_whole_warps(self, k):
+        cfg = TABLE1_CONFIGS[k]
+        assert cfg.threads % 32 == 0
+        assert cfg.threads == 128  # all three paper configs use 128 threads
+
+
+class TestGeneralConfigConstraints:
+    def test_derived_thread_layout(self):
+        cfg = TABLE1_CONFIGS[3]
+        assert (cfg.tx, cfg.ty) == (16, 8)
+
+    def test_wt_must_stay_in_row(self):
+        cfg = GeneralCaseConfig(w=32, h=4, ftb=64, wt=24, ft=4, csh=2)
+        with pytest.raises(ConfigurationError):
+            cfg.validate(3, 2)
+
+    def test_ftb_divisible_by_ft(self):
+        cfg = GeneralCaseConfig(w=32, h=4, ftb=60, wt=16, ft=8, csh=2)
+        with pytest.raises(ConfigurationError):
+            cfg.validate(3, 2)
+
+    def test_vector_divisibility(self):
+        cfg = GeneralCaseConfig(w=32, h=4, ftb=64, wt=15, ft=4, csh=2)
+        with pytest.raises(ConfigurationError):
+            cfg.validate(3, 2)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneralCaseConfig(w=32, h=0, ftb=64, wt=16, ft=4, csh=2)
+
+    def test_filter_smem_includes_padding(self):
+        cfg = TABLE1_CONFIGS[3]
+        unpadded = cfg.csh * 9 * cfg.ftb
+        assert cfg.smem_filter_floats(3, 2) == unpadded + cfg.csh * 9 * 2
+
+    def test_smem_fits_kepler(self):
+        for k, cfg in TABLE1_CONFIGS.items():
+            assert cfg.smem_bytes(k, 2) < KEPLER_K40M.smem_per_block_max
+
+    def test_registers_fit_isa_limit(self):
+        for k, cfg in TABLE1_CONFIGS.items():
+            assert cfg.registers_per_thread(k, 2) <= 255

@@ -1,0 +1,134 @@
+"""Hand-derived traffic formulas for the analytic cost models.
+
+Every count below is computed from the paper's algorithm descriptions
+with pencil and paper for one small configuration, then asserted
+against the site ledger — independent of both the analytic tracer's
+internals and the interpreter audit.
+"""
+
+import math
+
+import pytest
+
+from repro.conv.tensors import ConvProblem
+from repro.core.config import GeneralCaseConfig, SpecialCaseConfig
+from repro.core.general import GeneralCaseKernel
+from repro.core.special import SpecialCaseKernel
+
+
+class TestSpecialCaseCounts:
+    """Config W=64, H=4, n=2; problem 10x130 (out 8x128), K=3, F=2.
+
+    Geometry: 2x2 = 4 blocks; 32 threads = 1 warp per block; each block
+    sweeps 4 output rows over a 6-row, 66-column tile.
+    """
+
+    CFG = SpecialCaseConfig(block_w=64, block_h=4)
+    PROBLEM = ConvProblem(height=10, width=130, channels=1, filters=2,
+                          kernel_size=3)
+
+    @pytest.fixture
+    def ledger(self):
+        return SpecialCaseKernel(config=self.CFG).cost(self.PROBLEM).ledger
+
+    @pytest.fixture
+    def sites(self, ledger):
+        return ledger.sites
+
+    def test_row_loads(self, sites):
+        # (H + K - 1) = 6 rows per block, 1 warp each, 4 blocks.
+        assert sites["gm.load_row[gmem.read]"].executions == 6 * 4
+
+    def test_halo_loads(self, sites):
+        # ceil((K-1)/n) = 1 halo unit: one extra request per row.
+        assert sites["gm.load_row_halo[gmem.read]"].executions == 6 * 4
+
+    def test_smem_stores_mirror_loads(self, sites):
+        assert sites["sm.store_row[smem.write]"].executions == 6 * 4
+        assert sites["sm.store_row_halo[smem.write]"].executions == 6 * 4
+
+    def test_window_loads(self, sites):
+        # Each thread reads K+n-1 = 4 pixels = 2 float2 units per staged
+        # row; rows staged into registers: (K-1) initial + H latest = 6.
+        assert sites["sm.load_window[smem.read]"].executions == 2 * 6 * 4
+
+    def test_constant_broadcasts(self, sites):
+        # One broadcast per FMA round: H * F * K * K per warp.
+        assert sites["cm.filter_tap[cmem.read]"].executions == \
+            4 * 2 * 9 * 4
+
+    def test_output_stores(self, sites):
+        # H * F vector stores per warp per block (possibly split between
+        # the two alignment variants).
+        total = sum(s.executions for name, s in sites.items()
+                    if name.startswith("gm.store_out"))
+        assert total == 4 * 2 * 4
+
+    def test_flops_include_edge_overcompute(self, ledger):
+        # 2 * K^2 * F * W * H per block: the grid tiles exactly here.
+        assert ledger.flops == 2 * 9 * 2 * 64 * 4 * 4
+
+    def test_barriers(self, ledger):
+        assert ledger.syncthreads == (2 * 4 + 1) * 4
+
+
+class TestGeneralCaseCounts:
+    """Config W=32,H=4,FTB=16,WT=16,FT=4,CSH=2; problem 34^2, C=4, F=32.
+
+    Geometry: out 32x32 -> 1x8 views x 2 filter groups = 16 blocks;
+    TX=4, TY=8 -> 32 threads = 1 warp; 2 channel chunks.
+    """
+
+    CFG = GeneralCaseConfig(w=32, h=4, ftb=16, wt=16, ft=4, csh=2)
+    PROBLEM = ConvProblem(height=34, width=34, channels=4, filters=32,
+                          kernel_size=3)
+
+    @pytest.fixture
+    def ledger(self):
+        return GeneralCaseKernel(config=self.CFG).cost(self.PROBLEM).ledger
+
+    @pytest.fixture
+    def sites(self, ledger):
+        return ledger.sites
+
+    def test_image_loads(self, sites):
+        # Per block: per channel (4 total over the chunks), 6 footprint
+        # rows of 34 floats = 17 float2 units -> 1 request per row.
+        assert sites["gm.load_image[gmem.read]"].executions == \
+            1 * 6 * 4 * 16
+
+    def test_filter_loads(self, sites):
+        # Per block: FTB runs of CSH*K*K = 18 scalars -> 1 request per
+        # run per chunk.
+        assert sites["gm.load_filter[gmem.read]"].executions == \
+            16 * 2 * 16
+
+    def test_image_register_rows(self, sites):
+        # u_img = ceil((WT+K-1)/n) = 9 requests per (channel, j) per warp.
+        assert sites["sm.load_image_row[smem.read]"].executions == \
+            9 * 3 * 4 * 16
+
+    def test_filter_register_reads(self, sites):
+        # u_flt = FT/n = 2 requests per (channel, j, k) per warp.
+        assert sites["sm.load_filter_row[smem.read]"].executions == \
+            2 * 9 * 4 * 16
+
+    def test_writeback_requests(self, sites):
+        # FT * ceil(WT*4/16) = 4*4 wide stores per warp per block.
+        assert sites["gm.store_out[gmem.write]"].executions == 16 * 16
+
+    def test_flops(self, ledger):
+        # 2 K^2 C FTB W H per block x 16 blocks == nominal (exact tiling).
+        assert ledger.flops == 2 * 9 * 4 * 16 * 32 * 4 * 16
+        assert ledger.flops == self.PROBLEM.flops
+
+    def test_barriers(self, ledger):
+        assert ledger.syncthreads == (2 * 2 + 2) * 16
+
+    def test_sm_traffic_reduction_factor_realized(self, sites):
+        """Sec. 4.2: image SM bytes == (WT+K-1)/(WT*K) of one-per-tap."""
+        img = sites["sm.load_image_row[smem.read]"]
+        per_tap_bytes = self.PROBLEM.flops / 2 / self.CFG.ft * 4
+        measured_ratio = img.request_bytes / per_tap_bytes
+        expected = (self.CFG.wt + 2) / (self.CFG.wt * 3)
+        assert measured_ratio == pytest.approx(expected, rel=0.01)

@@ -1,0 +1,128 @@
+"""Tests for the Sec. 6 extensions: short-data-type kernels and the
+adaptive configuration selector."""
+
+import numpy as np
+import pytest
+
+from repro.conv.reference import conv2d_single_channel
+from repro.conv.tensors import ConvProblem
+from repro.core.bankwidth import DataType
+from repro.core.config import TABLE1_CONFIGS
+from repro.core.general import SMALL_IMAGE_CONFIGS, GeneralCaseKernel
+from repro.core.special import SpecialCaseKernel
+from repro.gpu.arch import KEPLER_K40M, MAXWELL_GM204
+
+
+class TestShortDtypeKernels:
+    def test_vector_width_by_dtype(self):
+        assert SpecialCaseKernel(dtype=DataType.FLOAT).n == 2
+        assert SpecialCaseKernel(dtype=DataType.HALF).n == 4
+        assert SpecialCaseKernel(dtype=DataType.CHAR).n == 8
+        assert SpecialCaseKernel(MAXWELL_GM204, dtype=DataType.HALF).n == 2
+
+    def test_functional_execution_unchanged(self, rng):
+        # dtype parameterizes the cost model; results stay float32-exact.
+        img = rng.standard_normal((20, 260)).astype(np.float32)
+        flt = rng.standard_normal((2, 3, 3)).astype(np.float32)
+        out = SpecialCaseKernel(dtype=DataType.HALF).run(img, flt)
+        np.testing.assert_allclose(out, conv2d_single_channel(img, flt),
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_half_halves_dram_traffic(self):
+        p = ConvProblem.square(2048, 3, channels=1, filters=8)
+        f32 = SpecialCaseKernel(dtype=DataType.FLOAT).cost(p).ledger
+        f16 = SpecialCaseKernel(dtype=DataType.HALF).cost(p).ledger
+        ratio = f16.gmem_read_bytes_moved / f32.gmem_read_bytes_moved
+        assert ratio == pytest.approx(0.5, rel=0.1)
+
+    def test_half_conv_faster_when_memory_bound(self):
+        p = ConvProblem.square(2048, 3, channels=1, filters=8)
+        f32 = SpecialCaseKernel(dtype=DataType.FLOAT).gflops(p)
+        f16 = SpecialCaseKernel(dtype=DataType.HALF).gflops(p)
+        assert f16 > 1.3 * f32
+
+    def test_unmatched_penalty_grows_with_mismatch(self):
+        """Sec. 6's point: the model matters MORE for short dtypes."""
+        p = ConvProblem.square(2048, 3, channels=1, filters=32)
+
+        def penalty(dtype):
+            m = SpecialCaseKernel(dtype=dtype).gflops(p)
+            u = SpecialCaseKernel(dtype=dtype, matched=False).gflops(p)
+            return 1 - u / m
+
+        assert penalty(DataType.CHAR) > penalty(DataType.HALF) > \
+            penalty(DataType.FLOAT) > 0
+
+    def test_half_benefits_maxwell_too(self):
+        p = ConvProblem.square(2048, 3, channels=1, filters=32)
+        m = SpecialCaseKernel(MAXWELL_GM204, dtype=DataType.HALF).gflops(p)
+        u = SpecialCaseKernel(MAXWELL_GM204, dtype=DataType.HALF,
+                              matched=False).gflops(p)
+        assert m > u
+
+    def test_general_kernel_accepts_dtype(self, rng):
+        p = ConvProblem.square(128, 3, channels=64, filters=128)
+        half = GeneralCaseKernel(dtype=DataType.HALF)
+        assert half.n == 4
+        assert half.gflops(p) > 0
+        img = rng.standard_normal((2, 12, 16)).astype(np.float32)
+        flt = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        from repro.conv.reference import conv2d_reference
+        from repro.core.config import GeneralCaseConfig
+
+        cfg = GeneralCaseConfig(w=16, h=8, ftb=16, wt=8, ft=4, csh=2)
+        kern = GeneralCaseKernel(config=cfg, dtype=DataType.HALF)
+        np.testing.assert_allclose(kern.run(img, flt),
+                                   conv2d_reference(img, flt),
+                                   rtol=1e-3, atol=1e-3)
+
+
+class TestAdaptiveConfig:
+    def test_fixed_table1_for_large_images(self):
+        kern = GeneralCaseKernel(auto_config=True)
+        p = ConvProblem.square(224, 3, channels=64, filters=128)
+        # On big images a wide tile should win — Table 1 or similar width.
+        assert kern.select_config(p).w >= 16
+
+    def test_narrow_config_chosen_for_tiny_images(self):
+        kern = GeneralCaseKernel(auto_config=True)
+        p = ConvProblem.square(32, 7, channels=256, filters=256)
+        cfg = kern.select_config(p)
+        assert cfg.w < TABLE1_CONFIGS[7].w
+
+    def test_adaptive_never_worse_than_fixed(self):
+        fixed = GeneralCaseKernel()
+        adaptive = GeneralCaseKernel(auto_config=True)
+        for n, c, f, k in ((32, 128, 128, 3), (32, 256, 256, 7),
+                           (64, 128, 128, 5), (128, 64, 128, 3)):
+            p = ConvProblem.square(n, k, channels=c, filters=f)
+            assert adaptive.gflops(p) >= 0.999 * fixed.gflops(p)
+
+    def test_adaptive_fixes_small_image_losses(self):
+        """The paper's 32x32 caveat disappears with per-problem tiles."""
+        from repro.baselines.implicit_gemm import ImplicitGemmKernel
+
+        cudnn = ImplicitGemmKernel()
+        adaptive = GeneralCaseKernel(auto_config=True)
+        p = ConvProblem.square(32, 7, channels=256, filters=256)
+        assert adaptive.gflops(p) > 0.9 * cudnn.gflops(p)
+
+    def test_adaptive_functional_still_correct(self, rng):
+        img = rng.standard_normal((3, 20, 20)).astype(np.float32)
+        flt = rng.standard_normal((5, 3, 3, 3)).astype(np.float32)
+        from repro.conv.reference import conv2d_reference
+
+        kern = GeneralCaseKernel(auto_config=True)
+        np.testing.assert_allclose(kern.run(img, flt),
+                                   conv2d_reference(img, flt),
+                                   rtol=1e-3, atol=1e-3)
+
+    def test_palette_configs_all_valid(self):
+        for cfg in SMALL_IMAGE_CONFIGS:
+            cfg.validate(3, 2, KEPLER_K40M.warp_size)
+
+    def test_explicit_config_overrides_auto(self):
+        cfg = SMALL_IMAGE_CONFIGS[0]
+        kern = GeneralCaseKernel(config=cfg, auto_config=True)
+        p = ConvProblem.square(224, 3, channels=64, filters=128)
+        assert kern.config_for(p) == cfg

@@ -1,0 +1,161 @@
+"""Tests for the special-case kernel (paper Sec. 3, Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.conv.reference import conv2d_single_channel
+from repro.conv.tensors import ConvProblem, Padding
+from repro.core.config import SpecialCaseConfig
+from repro.core.special import SpecialCaseKernel
+from repro.errors import ConfigurationError, ShapeError
+from repro.gpu.arch import FERMI_M2090, KEPLER_K40M
+
+
+@pytest.fixture
+def kernel():
+    return SpecialCaseKernel()
+
+
+# Small block so functional tests exercise multiple blocks quickly.
+SMALL = SpecialCaseConfig(block_w=64, block_h=4)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    @pytest.mark.parametrize("f", [1, 3])
+    def test_matches_reference_valid(self, rng, k, f):
+        kern = SpecialCaseKernel(config=SMALL)
+        img = rng.standard_normal((30, 150)).astype(np.float32)
+        flt = rng.standard_normal((f, k, k)).astype(np.float32)
+        np.testing.assert_allclose(
+            kern.run(img, flt), conv2d_single_channel(img, flt),
+            rtol=1e-4, atol=1e-4,
+        )
+
+    def test_matches_reference_same_padding(self, rng):
+        kern = SpecialCaseKernel(config=SMALL)
+        img = rng.standard_normal((33, 70)).astype(np.float32)
+        flt = rng.standard_normal((2, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(
+            kern.run(img, flt, padding=Padding.SAME),
+            conv2d_single_channel(img, flt, Padding.SAME),
+            rtol=1e-4, atol=1e-4,
+        )
+
+    def test_unmatched_variant_same_results(self, rng):
+        img = rng.standard_normal((20, 80)).astype(np.float32)
+        flt = rng.standard_normal((2, 3, 3)).astype(np.float32)
+        matched = SpecialCaseKernel(config=SMALL).run(img, flt)
+        unmatched = SpecialCaseKernel(config=SMALL, matched=False).run(img, flt)
+        np.testing.assert_allclose(matched, unmatched, rtol=1e-5)
+
+    def test_image_smaller_than_block(self, rng):
+        kern = SpecialCaseKernel(config=SMALL)
+        img = rng.standard_normal((10, 12)).astype(np.float32)
+        flt = rng.standard_normal((1, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(
+            kern.run(img, flt), conv2d_single_channel(img, flt),
+            rtol=1e-4, atol=1e-4,
+        )
+
+    def test_accepts_chw_and_fckk_shapes(self, rng):
+        kern = SpecialCaseKernel(config=SMALL)
+        img = rng.standard_normal((1, 16, 64)).astype(np.float32)
+        flt = rng.standard_normal((2, 1, 3, 3)).astype(np.float32)
+        out = kern.run(img, flt)
+        assert out.shape == (2, 14, 62)
+
+    def test_rejects_multichannel(self, rng):
+        kern = SpecialCaseKernel(config=SMALL)
+        with pytest.raises(ShapeError):
+            kern.run(rng.standard_normal((2, 16, 64)), np.ones((3, 3)))
+
+    def test_rejects_nonsquare_filter(self, rng):
+        kern = SpecialCaseKernel(config=SMALL)
+        with pytest.raises(ShapeError):
+            kern.run(rng.standard_normal((16, 64)), np.ones((2, 3, 5)))
+
+
+class TestLaunchAndResources:
+    def test_vector_width_follows_architecture(self):
+        assert SpecialCaseKernel(KEPLER_K40M).n == 2
+        assert SpecialCaseKernel(FERMI_M2090).n == 1
+        assert SpecialCaseKernel(KEPLER_K40M, matched=False).n == 1
+
+    def test_launch_grid_covers_output(self):
+        kern = SpecialCaseKernel()
+        p = ConvProblem.square(1024, 3, channels=1, filters=4)
+        lc = kern.launch_config(p)
+        assert lc.grid.x * 256 >= p.out_width
+        assert lc.grid.y * 8 >= p.out_height
+        assert lc.threads_per_block == 128  # W/n = 256/2
+
+    def test_constant_memory_limit_enforced(self):
+        kern = SpecialCaseKernel()
+        too_many = ConvProblem.square(64, 5, channels=1, filters=1024)
+        with pytest.raises(ConfigurationError):
+            kern.launch_config(too_many)
+
+    def test_rejects_multichannel_problem(self):
+        kern = SpecialCaseKernel()
+        with pytest.raises(ConfigurationError):
+            kern.cost(ConvProblem.square(64, 3, channels=2, filters=1))
+
+
+class TestTracedCost:
+    def test_conflict_free_shared_memory(self, kernel):
+        p = ConvProblem.square(1024, 3, channels=1, filters=8)
+        led = kernel.cost(p).ledger
+        assert led.smem_conflict_overhead == pytest.approx(1.0)
+
+    def test_coalesced_global_reads(self, kernel):
+        p = ConvProblem.square(1024, 3, channels=1, filters=8)
+        led = kernel.cost(p).ledger
+        assert led.gmem_read_efficiency > 0.9
+
+    def test_constant_broadcasts_only(self, kernel):
+        p = ConvProblem.square(1024, 3, channels=1, filters=8)
+        led = kernel.cost(p).ledger
+        # Every cmem request is a single broadcast.
+        assert led.cmem_cycles == pytest.approx(led.cmem_requests)
+
+    def test_flops_cover_nominal_work(self, kernel):
+        p = ConvProblem.square(1024, 3, channels=1, filters=8)
+        assert kernel.cost(p).flops >= p.flops
+
+    def test_gm_reads_near_one_pass(self, kernel):
+        p = ConvProblem.square(2048, 3, channels=1, filters=8)
+        led = kernel.cost(p).ledger
+        assert led.gmem_read_bytes_moved < 1.5 * p.image_bytes
+
+    def test_prefetch_flag_set(self, kernel):
+        p = ConvProblem.square(512, 3, channels=1, filters=4)
+        assert kernel.cost(p).software_prefetch
+
+
+class TestPerformanceShape:
+    def test_unmatched_slower(self):
+        p = ConvProblem.square(2048, 3, channels=1, filters=32)
+        matched = SpecialCaseKernel().gflops(p)
+        unmatched = SpecialCaseKernel(matched=False).gflops(p)
+        # Paper Fig. 7b: ~19% penalty.
+        assert unmatched < matched
+        assert 0.70 < unmatched / matched < 0.95
+
+    def test_f1_low_overlap_regime(self):
+        kern = SpecialCaseKernel()
+        low = kern.gflops(ConvProblem.square(2048, 3, channels=1, filters=1))
+        high = kern.gflops(ConvProblem.square(2048, 3, channels=1, filters=32))
+        assert low < high / 2  # paper: performance is lower when F=1
+
+    def test_larger_filters_higher_gflops(self):
+        kern = SpecialCaseKernel()
+        k3 = kern.gflops(ConvProblem.square(2048, 3, channels=1, filters=16))
+        k5 = kern.gflops(ConvProblem.square(2048, 5, channels=1, filters=16))
+        assert k5 > k3  # more arithmetic per loaded byte
+
+    def test_predict_returns_breakdown(self, kernel):
+        p = ConvProblem.square(512, 3, channels=1, filters=4)
+        tb = kernel.predict(p)
+        assert tb.total > 0
+        assert tb.bound_by in ("compute", "gmem", "l2", "smem", "cmem")

@@ -1,0 +1,91 @@
+"""Tests for repro.gpu.arch."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.gpu.arch import (
+    ARCHITECTURES,
+    FERMI_M2090,
+    KEPLER_K40M,
+    MAXWELL_GM204,
+)
+
+
+class TestPresets:
+    def test_kepler_bank_width_is_eight(self):
+        assert KEPLER_K40M.smem_bank_width == 8
+
+    def test_fermi_and_maxwell_bank_width_is_four(self):
+        assert FERMI_M2090.smem_bank_width == 4
+        assert MAXWELL_GM204.smem_bank_width == 4
+
+    def test_kepler_peak_matches_paper(self):
+        # The paper states 4290 GFlop/s single-precision (Sec. 5).
+        assert KEPLER_K40M.peak_sp_gflops == pytest.approx(4290.0)
+
+    def test_registry_contains_all_presets(self):
+        assert set(ARCHITECTURES) == {"kepler", "fermi", "maxwell"}
+
+    def test_max_warps_per_sm(self):
+        assert KEPLER_K40M.max_warps_per_sm == 64
+        assert FERMI_M2090.max_warps_per_sm == 48
+
+    def test_smem_bandwidth_per_clock(self):
+        # 32 banks x 8 bytes on Kepler = 256 B/clock/SM.
+        assert KEPLER_K40M.smem_bandwidth_bytes_per_sm_clock == 256
+        assert FERMI_M2090.smem_bandwidth_bytes_per_sm_clock == 128
+
+    def test_aggregate_smem_bandwidth_positive(self):
+        assert KEPLER_K40M.smem_bandwidth_gbs > 1000  # TB/s-scale on chip
+
+    def test_sustained_gmem_bandwidth_below_peak(self):
+        for arch in ARCHITECTURES.values():
+            assert arch.sustained_gmem_bandwidth_gbs < arch.gmem_bandwidth_gbs
+
+
+class TestBankMapping:
+    def test_bank_of_wraps_around(self, kepler):
+        width = kepler.smem_bank_width
+        count = kepler.smem_bank_count
+        assert kepler.bank_of(0) == 0
+        assert kepler.bank_of(width) == 1
+        assert kepler.bank_of(width * count) == 0
+
+    def test_bank_of_sub_word_addresses(self, kepler):
+        # Two floats inside the same 8-byte word share a bank.
+        assert kepler.bank_of(0) == kepler.bank_of(4)
+
+    def test_fermi_floats_get_distinct_banks(self, fermi):
+        assert fermi.bank_of(0) != fermi.bank_of(4)
+
+
+class TestWithBankWidth:
+    def test_switch_to_four_byte_mode(self, kepler):
+        four = kepler.with_bank_width(4)
+        assert four.smem_bank_width == 4
+        assert four.name == kepler.name
+        assert kepler.smem_bank_width == 8  # original untouched
+
+    def test_invalid_bank_width_rejected(self, kepler):
+        with pytest.raises(ArchitectureError):
+            kepler.with_bank_width(3)
+
+
+class TestValidation:
+    def test_rejects_zero_sm_count(self, kepler):
+        with pytest.raises(ArchitectureError):
+            dataclasses.replace(kepler, sm_count=0)
+
+    def test_rejects_odd_bank_count(self, kepler):
+        with pytest.raises(ArchitectureError):
+            dataclasses.replace(kepler, smem_bank_count=31)
+
+    def test_rejects_bad_achievable_fraction(self, kepler):
+        with pytest.raises(ArchitectureError):
+            dataclasses.replace(kepler, gmem_achievable_fraction=1.5)
+
+    def test_rejects_nonpositive_transaction_size(self, kepler):
+        with pytest.raises(ArchitectureError):
+            dataclasses.replace(kepler, gmem_transaction_size=0)

@@ -1,0 +1,118 @@
+"""Tests for the shared-memory bank model (paper Sec. 2.1 / Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.gpu.memory.banks import BankConflictPolicy, SharedMemoryModel
+
+
+@pytest.fixture
+def paper_model(kepler):
+    return SharedMemoryModel(kepler, BankConflictPolicy.PAPER)
+
+
+@pytest.fixture
+def merge_model(kepler):
+    return SharedMemoryModel(kepler, BankConflictPolicy.WORD_MERGE)
+
+
+class TestFig1:
+    """The paper's Fig. 1 scenarios, byte for byte."""
+
+    def test_conventional_floats_serialize_on_kepler(self, paper_model):
+        # 32 consecutive floats on 8-byte banks: two floats per bank word.
+        res = paper_model.access(np.arange(32) * 4, 4)
+        assert res.cycles == 2
+        assert res.conflict_degree == 2
+        assert not res.conflict_free
+
+    def test_matched_float2_is_conflict_free(self, paper_model):
+        res = paper_model.access(np.arange(32) * 8, 8)
+        assert res.cycles == 1
+        assert res.conflict_free
+        assert res.bandwidth_utilization == pytest.approx(1.0)
+
+    def test_word_merge_resolves_subword_pairs(self, merge_model):
+        res = merge_model.access(np.arange(32) * 4, 4)
+        assert res.cycles == 1
+        # ... but only half the bank width is used.
+        assert res.bandwidth_utilization == pytest.approx(0.5)
+
+    def test_fermi_floats_conflict_free(self, fermi):
+        model = SharedMemoryModel(fermi, BankConflictPolicy.PAPER)
+        res = model.access(np.arange(32) * 4, 4)
+        assert res.cycles == 1
+        assert res.bandwidth_utilization == pytest.approx(1.0)
+
+
+class TestBroadcast:
+    def test_identical_addresses_broadcast(self, paper_model):
+        res = paper_model.access(np.zeros(32, dtype=np.int64), 4)
+        assert res.cycles == 1
+        assert res.unique_bytes == 4
+
+    def test_two_address_groups_two_banks(self, paper_model):
+        # Half the warp reads word 0, half reads word 1: distinct banks.
+        addrs = np.array([0] * 16 + [8] * 16)
+        res = paper_model.access(addrs, 4)
+        assert res.cycles == 1
+
+
+class TestConflicts:
+    def test_stride_equal_to_bank_row_serializes_fully(self, paper_model, kepler):
+        row = kepler.smem_bank_count * kepler.smem_bank_width
+        res = paper_model.access(np.arange(32) * row, 4)
+        assert res.cycles == 32
+        assert res.conflict_degree == 32
+
+    def test_word_merge_also_sees_true_conflicts(self, merge_model, kepler):
+        row = kepler.smem_bank_count * kepler.smem_bank_width
+        res = merge_model.access(np.arange(32) * row, 4)
+        assert res.cycles == 32
+
+    def test_odd_stride_padding_avoids_conflicts(self, paper_model, kepler):
+        # The classic padding trick: stride of 33 words cycles all banks.
+        word = kepler.smem_bank_width
+        res = paper_model.access(np.arange(32) * 33 * word, word)
+        assert res.conflict_free
+
+
+class TestWideAccesses:
+    def test_float4_takes_two_phases_on_kepler(self, paper_model):
+        res = paper_model.access(np.arange(32) * 16, 16)
+        assert res.phases == 2
+        assert res.cycles == 2  # one clean cycle per phase
+        assert res.bandwidth_utilization == pytest.approx(1.0)
+
+    def test_float4_on_fermi_takes_four_phases(self, fermi):
+        model = SharedMemoryModel(fermi)
+        res = model.access(np.arange(32) * 16, 16)
+        assert res.phases == 4
+        assert res.cycles == 4
+
+
+class TestValidation:
+    def test_rejects_empty_request(self, paper_model):
+        with pytest.raises(TraceError):
+            paper_model.access(np.array([], dtype=np.int64), 4)
+
+    def test_rejects_oversized_warp(self, paper_model):
+        with pytest.raises(TraceError):
+            paper_model.access(np.arange(33) * 4, 4)
+
+    def test_rejects_misaligned_access(self, paper_model):
+        with pytest.raises(TraceError):
+            paper_model.access(np.array([2]), 4)
+
+    def test_rejects_negative_address(self, paper_model):
+        with pytest.raises(TraceError):
+            paper_model.access(np.array([-4]), 4)
+
+    def test_rejects_odd_access_size(self, paper_model):
+        with pytest.raises(TraceError):
+            paper_model.access(np.array([0]), 3)
+
+    def test_read_write_aliases(self, paper_model):
+        addrs = np.arange(16) * 8
+        assert paper_model.read(addrs, 8) == paper_model.write(addrs, 8)

@@ -1,0 +1,58 @@
+"""Tests for the constant-memory broadcast model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.gpu.memory.constmem import ConstantMemoryModel
+
+
+@pytest.fixture
+def model(kepler):
+    return ConstantMemoryModel(kepler)
+
+
+class TestBroadcast:
+    def test_uniform_address_is_single_broadcast(self, model):
+        res = model.access(np.zeros(32, dtype=np.int64))
+        assert res.is_broadcast
+        assert res.serializations == 1
+
+    def test_distinct_addresses_serialize(self, model):
+        res = model.access(np.arange(32) * 4)
+        assert res.serializations == 32
+        assert not res.is_broadcast
+
+    def test_partial_divergence(self, model):
+        res = model.access(np.array([0] * 16 + [4] * 16))
+        assert res.serializations == 2
+
+
+class TestCache:
+    def test_small_working_set_hits(self, model, kepler):
+        assert model.hit_rate(kepler.const_cache_per_sm) == 1.0
+
+    def test_zero_working_set(self, model):
+        assert model.hit_rate(0) == 1.0
+
+    def test_large_working_set_degrades(self, model, kepler):
+        ws = kepler.const_cache_per_sm * 4
+        assert model.hit_rate(ws) == pytest.approx(0.25)
+
+    def test_working_set_beyond_constant_memory_rejected(self, model, kepler):
+        with pytest.raises(TraceError):
+            model.hit_rate(kepler.const_memory_size + 1)
+
+    def test_negative_working_set_rejected(self, model):
+        with pytest.raises(TraceError):
+            model.hit_rate(-1)
+
+
+class TestValidation:
+    def test_rejects_empty(self, model):
+        with pytest.raises(TraceError):
+            model.access(np.array([], dtype=np.int64))
+
+    def test_rejects_oversized_warp(self, model):
+        with pytest.raises(TraceError):
+            model.access(np.zeros(64, dtype=np.int64))

@@ -1,0 +1,132 @@
+"""Unit tests for the executable SIMT device."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.gpu.device import DeviceExecutor
+from repro.gpu.memory.banks import BankConflictPolicy
+
+
+@pytest.fixture
+def executor(kepler):
+    return DeviceExecutor(kepler)
+
+
+class TestAllocation:
+    def test_global_bases_aligned_and_disjoint(self, executor):
+        a = executor.alloc_global(np.zeros(100), "a")
+        b = executor.alloc_global(np.zeros(100), "b")
+        assert a.base % 512 == 0 and b.base % 512 == 0
+        assert b.base >= a.base + 100 * 4
+
+    def test_constant_respects_capacity(self, executor, kepler):
+        executor.alloc_constant(np.zeros(16))
+        with pytest.raises(TraceError):
+            executor.alloc_constant(np.zeros(kepler.const_memory_size // 4 + 1))
+
+    def test_out_of_range_index_rejected(self, executor):
+        arr = executor.alloc_global(np.zeros(8), "a")
+        with pytest.raises(TraceError):
+            arr.addresses(np.array([8]))
+        with pytest.raises(TraceError):
+            arr.addresses(np.array([-1]))
+
+
+class TestExecution:
+    def test_copy_kernel_moves_data_and_counts_traffic(self, executor):
+        src_data = np.arange(64, dtype=np.float32)
+        src = executor.alloc_global(src_data, "src")
+        dst = executor.alloc_global(np.zeros(64), "dst")
+
+        def body(block, src, dst):
+            for warp in block.warps():
+                vals = warp.gload(src, warp.lane, site="copy.in")
+                warp.gstore(dst, warp.lane, vals, site="copy.out")
+
+        executor.run_block(body, (0, 0), 64, src, dst)
+        np.testing.assert_array_equal(dst.data, src_data)
+        led = executor.tracer.ledger
+        assert led.gmem_read_request_bytes == 256
+        assert led.gmem_write_request_bytes == 256
+
+    def test_vector_loads_observed_with_width(self, executor):
+        src = executor.alloc_global(np.arange(64, dtype=np.float32), "src")
+
+        def body(block, src):
+            for warp in block.warps():
+                vals = warp.gload(src, warp.lane * 2, vector=2)
+                assert vals.shape == (32, 2)
+
+        executor.run_block(body, (0, 0), 32, src)
+        # 32 lanes x 8 bytes dense = 256 B = 8 sectors.
+        assert executor.tracer.ledger.gmem_read_transactions == 8
+
+    def test_shared_memory_roundtrip_and_banks(self, executor):
+        def body(block):
+            smem = block.shared(64, "buf")
+            for warp in block.warps():
+                warp.sstore(smem, warp.lane, warp.lane.astype(np.float32))
+            block.sync()
+            for warp in block.warps():
+                vals = warp.sload(smem, warp.lane)
+                np.testing.assert_array_equal(vals, warp.lane)
+
+        block = executor.run_block(body, (0, 0), 32)
+        assert block.smem_bytes == 256
+        assert executor.tracer.ledger.syncthreads == 1
+
+    def test_paper_policy_sees_unmatched_conflicts(self, kepler):
+        ex = DeviceExecutor(kepler, BankConflictPolicy.PAPER)
+
+        def body(block):
+            smem = block.shared(32)
+            for warp in block.warps():
+                warp.sload(smem, warp.lane)  # consecutive floats: 2-way
+
+        ex.run_block(body, (0, 0), 32)
+        assert ex.tracer.ledger.smem_conflict_overhead == pytest.approx(2.0)
+
+    def test_constant_broadcast(self, executor):
+        carr = executor.alloc_constant(np.arange(9, dtype=np.float32))
+
+        def body(block, carr):
+            for warp in block.warps():
+                vals = warp.cload(carr, 4)
+                np.testing.assert_array_equal(vals, np.full(32, 4.0))
+
+        executor.run_block(body, (0, 0), 32, carr)
+        assert executor.tracer.ledger.cmem_cycles == 1
+
+    def test_fma_counts_flops(self, executor):
+        def body(block):
+            for warp in block.warps():
+                acc = np.zeros(warp.lane.size, dtype=np.float32)
+                acc = warp.fma(acc, 2.0, 3.0)
+                np.testing.assert_array_equal(acc, np.full(32, 6.0))
+
+        executor.run_block(body, (0, 0), 32)
+        assert executor.tracer.ledger.flops == 64
+
+    def test_finish_requires_execution(self, executor):
+        with pytest.raises(TraceError):
+            executor.finish("empty")
+
+    def test_mixed_block_sizes_rejected(self, executor):
+        def body(block):
+            pass
+
+        executor.run_block(body, (0, 0), 64)
+        with pytest.raises(TraceError):
+            executor.run_block(body, (1, 0), 128)
+
+    def test_finish_packages_launch(self, executor):
+        def body(block):
+            block.shared(128)
+
+        executor.run_block(body, (0, 0), 64)
+        executor.run_block(body, (1, 0), 64)
+        cost = executor.finish("k", registers_per_thread=20)
+        assert cost.launch.total_blocks == 2
+        assert cost.launch.threads_per_block == 64
+        assert cost.launch.smem_per_block == 512

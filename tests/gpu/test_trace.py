@@ -1,0 +1,138 @@
+"""Tests for the traffic ledger and kernel tracer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.gpu.simt import Dim3, LaunchConfig
+from repro.gpu.trace import (
+    KernelTracer,
+    SiteStats,
+    TrafficLedger,
+    cross_block_reuse,
+)
+
+
+@pytest.fixture
+def tracer(kepler):
+    return KernelTracer(kepler)
+
+
+def _launch():
+    return LaunchConfig(grid=Dim3(4), block=Dim3(128),
+                        registers_per_thread=32, smem_per_block=1024)
+
+
+class TestAccumulation:
+    def test_smem_counts_scale_with_count(self, tracer):
+        tracer.smem_read(np.arange(32) * 8, 8, count=10, site="a")
+        led = tracer.ledger
+        assert led.smem_requests == 10
+        assert led.smem_cycles == 10
+        assert led.smem_request_bytes == 10 * 32 * 8
+
+    def test_gmem_read_and_write_separate(self, tracer):
+        tracer.gmem_read(np.arange(32) * 4, 4, count=2)
+        tracer.gmem_write(np.arange(32) * 4, 4, count=3)
+        led = tracer.ledger
+        assert led.gmem_read_request_bytes == 2 * 128
+        assert led.gmem_write_request_bytes == 3 * 128
+        # Reads and writes both priced in 32-byte sectors.
+        assert led.gmem_read_bytes_moved == 2 * 128
+        assert led.gmem_write_bytes_moved == 3 * 128
+
+    def test_l2_reuse_divides_dram_reads_only(self, tracer):
+        tracer.gmem_read(np.arange(32) * 4, 4, count=8, l2_reuse=4.0)
+        led = tracer.ledger
+        assert led.gmem_read_bytes_moved == pytest.approx(8 * 128 / 4)
+        assert led.gmem_l2_bytes == pytest.approx(8 * 128)
+
+    def test_cmem_broadcast_counts(self, tracer):
+        tracer.cmem_read(np.zeros(32, dtype=np.int64), count=5)
+        assert tracer.ledger.cmem_cycles == 5
+
+    def test_flops_and_sync(self, tracer):
+        tracer.flops(1000)
+        tracer.sync(3)
+        assert tracer.ledger.flops == 1000
+        assert tracer.ledger.syncthreads == 3
+
+    def test_site_stats_recorded(self, tracer):
+        tracer.smem_read(np.arange(32) * 8, 8, count=2, site="load_row")
+        key = "load_row[smem.read]"
+        assert key in tracer.ledger.sites
+        assert tracer.ledger.sites[key].executions == 2
+
+    def test_negative_count_rejected(self, tracer):
+        with pytest.raises(TraceError):
+            tracer.smem_read(np.arange(4) * 8, 8, count=-1)
+        with pytest.raises(TraceError):
+            tracer.flops(-5)
+        with pytest.raises(TraceError):
+            tracer.gmem_read(np.arange(4) * 4, 4, l2_reuse=0.5)
+
+    def test_finish_validates_launch(self, tracer, kepler):
+        bad = LaunchConfig(grid=Dim3(1), block=Dim3(2048))
+        with pytest.raises(Exception):
+            tracer.finish(name="k", launch=bad)
+
+    def test_finish_returns_cost(self, tracer):
+        tracer.flops(10)
+        cost = tracer.finish(name="k", launch=_launch(), software_prefetch=True)
+        assert cost.flops == 10
+        assert cost.software_prefetch
+
+
+class TestLedgerProperties:
+    def test_efficiencies_default_to_one(self):
+        led = TrafficLedger()
+        assert led.gmem_read_efficiency == 1.0
+        assert led.smem_conflict_overhead == 1.0
+
+    def test_arithmetic_intensity(self):
+        led = TrafficLedger()
+        led.flops = 100.0
+        led.gmem_read_bytes_moved = 50.0
+        assert led.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_merge_is_additive(self, kepler):
+        t1, t2 = KernelTracer(kepler), KernelTracer(kepler)
+        for t, n in ((t1, 2), (t2, 3)):
+            t.flops(n * 10)
+            t.smem_read(np.arange(32) * 8, 8, count=n, site="x")
+            t.gmem_read(np.arange(32) * 4, 4, count=n, site="y")
+        t1.ledger.merge(t2.ledger)
+        assert t1.ledger.flops == 50
+        assert t1.ledger.smem_requests == 5
+        assert t1.ledger.sites["x[smem.read]"].executions == 5
+
+    def test_merge_mismatched_segment_size_rejected(self):
+        a = TrafficLedger(gmem_segment_size=128)
+        b = TrafficLedger(gmem_segment_size=64)
+        with pytest.raises(TraceError):
+            a.merge(b)
+
+    def test_site_merge_kind_mismatch_rejected(self):
+        a = SiteStats(kind="smem.read")
+        b = SiteStats(kind="gmem.read")
+        with pytest.raises(TraceError):
+            a.merge_from(b)
+
+
+class TestCrossBlockReuse:
+    def test_slab_fits_reuse_is_sharing(self, kepler):
+        assert cross_block_reuse(kepler, 1024, 4) == 4.0
+
+    def test_slab_too_big_reuse_capped_by_size(self, kepler):
+        r = cross_block_reuse(kepler, kepler.l2_size * 2, 100)
+        assert r == pytest.approx(0.5) or r == 1.0
+        assert r >= 1.0
+
+    def test_cap_applies(self, kepler):
+        assert cross_block_reuse(kepler, 1024, 1000) == 16.0
+
+    def test_never_below_one(self, kepler):
+        assert cross_block_reuse(kepler, 10 * kepler.l2_size, 2) == 1.0
+
+    def test_zero_slab(self, kepler):
+        assert cross_block_reuse(kepler, 0, 10) == 1.0

@@ -1,0 +1,98 @@
+"""Tests for the Gaussian/Laplacian pyramid application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pyramid import BINOMIAL_5X5, GaussianPyramid
+from repro.errors import ConfigurationError, ShapeError
+
+
+@pytest.fixture
+def pyramid():
+    return GaussianPyramid(levels=3)
+
+
+@pytest.fixture
+def image(rng):
+    return rng.standard_normal((128, 160)).astype(np.float32)
+
+
+class TestFilter:
+    def test_binomial_normalized(self):
+        assert BINOMIAL_5X5.sum() == pytest.approx(1.0)
+
+    def test_binomial_separable_and_symmetric(self):
+        np.testing.assert_allclose(BINOMIAL_5X5, BINOMIAL_5X5.T)
+        # Rank 1: it is an outer product.
+        assert np.linalg.matrix_rank(BINOMIAL_5X5) == 1
+
+
+class TestGaussian:
+    def test_level_shapes_halve(self, pyramid, image):
+        levels = pyramid.gaussian(image)
+        assert [lv.shape for lv in levels] == [(128, 160), (64, 80), (32, 40)]
+
+    def test_dc_preserved(self, pyramid):
+        flat = np.full((64, 64), 3.25, dtype=np.float32)
+        for level in pyramid.gaussian(flat):
+            np.testing.assert_allclose(level[2:-2, 2:-2], 3.25, atol=1e-4)
+
+    def test_smoothing_reduces_variance(self, pyramid, image):
+        levels = pyramid.gaussian(image)
+        assert np.var(levels[1]) < np.var(levels[0])
+
+    def test_too_small_image_rejected(self, pyramid):
+        with pytest.raises(ConfigurationError):
+            pyramid.gaussian(np.zeros((16, 16), dtype=np.float32))
+
+    def test_non_2d_rejected(self, pyramid):
+        with pytest.raises(ShapeError):
+            pyramid.gaussian(np.zeros((3, 64, 64), dtype=np.float32))
+
+
+class TestLaplacian:
+    def test_reconstruction_is_exact(self, pyramid, image):
+        bands = pyramid.laplacian(image)
+        recon = pyramid.reconstruct(bands)
+        np.testing.assert_allclose(recon, image, atol=1e-5)
+
+    def test_band_count(self, pyramid, image):
+        assert len(pyramid.laplacian(image)) == 3
+
+    def test_bands_are_bandpass(self, pyramid, image):
+        bands = pyramid.laplacian(image)
+        # Residual bands have near-zero mean (the DC lives in the tail).
+        assert abs(float(bands[0].mean())) < 0.1
+
+    def test_wrong_band_count_rejected(self, pyramid, image):
+        bands = pyramid.laplacian(image)
+        with pytest.raises(ShapeError):
+            pyramid.reconstruct(bands[:-1])
+
+
+class TestCost:
+    def test_geometric_series_bound(self):
+        """Levels shrink 4x each: total cost < 4/3 of level 0 + slack."""
+        pyr = GaussianPyramid(levels=5)
+        total = pyr.cost(1024, 1024)
+        level0 = pyr.kernel.cost(pyr.level_problems(1024, 1024)[0])
+        assert total.flops < 1.40 * level0.flops
+        assert total.launches == 4
+
+    def test_level_problems_shapes(self):
+        pyr = GaussianPyramid(levels=3)
+        ps = pyr.level_problems(100, 200)
+        assert [(p.height, p.width) for p in ps] == [(100, 200), (50, 100)]
+
+    def test_throughput_scale(self):
+        mps = GaussianPyramid(levels=4).megapixels_per_second(2048, 2048)
+        # Memory-bound 5x5 smoothing: thousands of MP/s on 216 GB/s.
+        assert 500 < mps < 50000
+
+    def test_single_level_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaussianPyramid(levels=1).cost(64, 64)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ConfigurationError):
+            GaussianPyramid(levels=0)

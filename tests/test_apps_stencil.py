@@ -1,0 +1,91 @@
+"""Tests for the Jacobi stencil application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import FIVE_POINT, NINE_POINT, JacobiStencil
+from repro.errors import ConfigurationError, ShapeError
+from repro.gpu.arch import FERMI_M2090
+
+
+class TestNumerics:
+    def test_five_point_single_sweep_by_hand(self):
+        grid = np.zeros((5, 5), dtype=np.float32)
+        grid[2, 2] = 4.0
+        out = JacobiStencil().run(grid, iterations=1)
+        # The hot cell's value spreads to its four neighbours...
+        assert out[1, 2] == pytest.approx(1.0)
+        assert out[2, 1] == pytest.approx(1.0)
+        # ...and the centre relaxes to the average of its (zero) ring.
+        assert out[2, 2] == pytest.approx(0.0)
+
+    def test_borders_are_dirichlet(self):
+        grid = np.zeros((6, 6), dtype=np.float32)
+        grid[0, :] = 1.0
+        out = JacobiStencil().run(grid, iterations=3)
+        np.testing.assert_array_equal(out[0], np.ones(6))
+        np.testing.assert_array_equal(out[-1], np.zeros(6))
+
+    def test_converges_to_laplace_solution(self):
+        # Hot top edge, cold elsewhere: converges to the discrete
+        # harmonic function; residual must shrink monotonically.
+        rng = np.random.default_rng(0)
+        grid = rng.standard_normal((16, 16)).astype(np.float32)
+        grid[0, :] = 1.0
+        grid[-1, :] = 0.0
+        stencil = JacobiStencil()
+        r0 = stencil.residual(grid)
+        relaxed = stencil.run(grid, iterations=50)
+        r1 = stencil.residual(relaxed)
+        assert r1 < r0 / 5
+
+    def test_nine_point_weights_normalized(self):
+        assert FIVE_POINT.sum() == pytest.approx(1.0)
+        assert NINE_POINT.sum() == pytest.approx(1.0)
+
+    def test_nine_point_runs(self):
+        grid = np.zeros((8, 8), dtype=np.float32)
+        grid[4, 4] = 1.0
+        out = JacobiStencil(points=9).run(grid, iterations=2)
+        assert out[3, 3] > 0  # diagonal neighbours now participate
+
+    def test_zero_iterations_identity(self, rng):
+        grid = rng.standard_normal((10, 10)).astype(np.float32)
+        np.testing.assert_array_equal(JacobiStencil().run(grid, 0), grid)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            JacobiStencil(points=7)
+        with pytest.raises(ShapeError):
+            JacobiStencil().run(np.zeros((2, 3, 4)))
+        with pytest.raises(ConfigurationError):
+            JacobiStencil().run(np.zeros((4, 4)), iterations=-1)
+
+
+class TestCostModel:
+    def test_cost_scales_with_iterations(self):
+        stencil = JacobiStencil()
+        one = stencil.cost(1024, 1024, iterations=1)
+        ten = stencil.cost(1024, 1024, iterations=10)
+        assert ten.flops == pytest.approx(10 * one.flops)
+        assert ten.launches == 10
+
+    def test_matched_beats_unmatched_in_smem(self):
+        matched = JacobiStencil().cost(2048, 2048, 4).ledger
+        unmatched = JacobiStencil(matched=False).cost(2048, 2048, 4).ledger
+        assert matched.smem_cycles < unmatched.smem_cycles
+
+    def test_updates_per_second_order_of_magnitude(self):
+        # A memory-bound 3x3 stencil on ~216 GB/s moves >= 8 bytes per
+        # update: tens of GUPS is the right scale.
+        gups = JacobiStencil().updates_per_second(4096, 4096) / 1e9
+        assert 1.0 < gups < 60.0
+
+    def test_fermi_runs_scalar(self):
+        stencil = JacobiStencil(arch=FERMI_M2090)
+        assert stencil.kernel.n == 1
+        assert stencil.predict(1024, 1024).total > 0
+
+    def test_invalid_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JacobiStencil().cost(64, 64, iterations=0)

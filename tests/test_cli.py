@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import SLOW_EXPERIMENTS, build_parser, main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "fig7b" in out and "table1" in out
+
+    def test_slow_marker(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "table1  (slow)" in out
+
+
+class TestRun:
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "matched" in out
+
+    def test_run_on_other_arch(self, capsys):
+        assert main(["run", "fig1", "--arch", "fermi"]) == 0
+        assert "Fermi" in capsys.readouterr().out
+
+    def test_run_precision(self, capsys):
+        assert main(["run", "fig1", "--precision", "3"]) == 0
+        assert "2.000" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_ablation(self, capsys):
+        assert main(["run", "ablation-thread-layout"]) == 0
+        assert "WT" in capsys.readouterr().out
+
+
+class TestSummary:
+    def test_summary_lines(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "MAGMA / cuBLAS" in out
+        assert "[paper: 2.4x]" in out
+        assert out.count("ours / cuDNN") == 6
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_arch_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig1", "--arch", "volta"])
+
+    def test_slow_experiments_exist(self):
+        from repro.bench.figures import ALL_EXPERIMENTS
+
+        for exp in SLOW_EXPERIMENTS:
+            assert exp in ALL_EXPERIMENTS
+
+
+class TestRunAll:
+    def test_run_all_skip_slow(self, capsys, monkeypatch):
+        """'run all' iterates the registry; trim it for test speed."""
+        import repro.cli as cli
+        from repro.bench.figures import ALL_EXPERIMENTS
+
+        trimmed = {k: ALL_EXPERIMENTS[k]
+                   for k in ("fig1", "ablation-thread-layout", "table1")}
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", trimmed)
+        assert cli.main(["run", "all", "--skip-slow"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "ablation-thread-layout" in out
+        assert "table1" not in out  # skipped as slow

@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.ArchitectureError,
+        errors.LaunchConfigError,
+        errors.ResourceError,
+        errors.ConfigurationError,
+        errors.ShapeError,
+        errors.TraceError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catching_the_base_catches_library_failures(self):
+        from repro import ConvProblem
+
+        with pytest.raises(errors.ReproError):
+            ConvProblem.square(4, 9)  # filter larger than image
+
+    def test_library_misuse_never_raises_bare_valueerror(self):
+        """A few representative misuse paths, all typed."""
+        import numpy as np
+
+        from repro import SpecialCaseKernel
+        from repro.gpu.memory.banks import SharedMemoryModel
+        from repro.gpu.arch import KEPLER_K40M
+
+        with pytest.raises(errors.ReproError):
+            SharedMemoryModel(KEPLER_K40M).access(np.array([2]), 4)
+        with pytest.raises(errors.ReproError):
+            SpecialCaseKernel().run(np.zeros((4, 4, 4, 4)), np.ones((3, 3)))
