@@ -1,0 +1,71 @@
+"""Serving-engine benchmarks: throughput versus batching deadline, and
+the host-side cost of planning and serving.
+
+The deadline sweep is the subsystem's core trade-off: a longer deadline
+lets the batcher coalesce more same-shape requests per launch, which
+amortizes launch overhead (higher requests per modeled second) at the
+price of queueing latency.  The sweep is written to
+``benchmarks/output/serve-deadline.{txt,csv,json}`` alongside the paper
+tables.
+"""
+
+import pytest
+
+from repro.bench.runner import Experiment
+from repro.serve import ServeEngine, synthetic_trace
+
+N_REQUESTS = 150
+DEADLINES = (0.0, 2e-4, 1e-3, 5e-3)
+
+
+def _serve(deadline_s, max_batch=32):
+    engine = ServeEngine(deadline_s=deadline_s, max_batch=max_batch)
+    engine.serve_trace(synthetic_trace(N_REQUESTS, seed=11))
+    return engine.stats()
+
+
+@pytest.fixture(scope="module")
+def deadline_sweep():
+    return {d: _serve(d) for d in DEADLINES}
+
+
+def test_throughput_vs_deadline(deadline_sweep, save_experiment):
+    exp = Experiment(
+        exp_id="serve-deadline",
+        title="Serving throughput vs batching deadline (150-request trace)",
+        unit="req/modeled-s",
+        columns=["throughput", "mean batch", "mean latency us"],
+        paper_expectation="longer deadlines batch more and serve faster, "
+        "at higher latency",
+    )
+    for deadline, snap in deadline_sweep.items():
+        exp.add("deadline=%gs" % deadline, {
+            "throughput": snap["throughput_rps"],
+            "mean batch": snap["mean_batch_size"],
+            "mean latency us": snap["mean_latency_s"] * 1e6,
+        })
+    save_experiment(exp, precision=1)
+
+    # Monotone qualitative shape: more deadline -> no smaller batches,
+    # and the longest deadline strictly beats the unbatched extreme.
+    batches = [deadline_sweep[d]["mean_batch_size"] for d in DEADLINES]
+    assert batches == sorted(batches)
+    assert (deadline_sweep[DEADLINES[-1]]["throughput_rps"]
+            > deadline_sweep[0.0]["throughput_rps"])
+
+
+def test_serve_trace_wall_clock(benchmark):
+    """Host-side serving rate (plan cache warm after the first round)."""
+    trace = synthetic_trace(60, seed=3)
+    engine = ServeEngine(deadline_s=1e-3, max_batch=16)
+    benchmark(engine.serve_trace, trace)
+
+
+def test_plan_cache_hit_wall_clock(benchmark):
+    """A warm plan lookup must be orders of magnitude under a replan."""
+    from repro.serve.trace import DEFAULT_SERVING_SHAPES
+
+    engine = ServeEngine()
+    problem = DEFAULT_SERVING_SHAPES[0]
+    engine.dispatcher.plan(problem)          # warm the cache
+    benchmark(engine.dispatcher.plan, problem)

@@ -50,8 +50,12 @@ from repro.gpu.arch import (
     MAXWELL_GM204,
 )
 from repro.gpu.timing import TimingModel
+from repro.serve.engine import AsyncServeEngine, ServeEngine
+from repro.serve.dispatch import Dispatcher
+from repro.serve.plan_cache import PlanCache
+from repro.serve.trace import synthetic_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConvProblem",
@@ -75,5 +79,10 @@ __all__ = [
     "MAXWELL_GM204",
     "ARCHITECTURES",
     "TimingModel",
+    "ServeEngine",
+    "AsyncServeEngine",
+    "Dispatcher",
+    "PlanCache",
+    "synthetic_trace",
     "__version__",
 ]

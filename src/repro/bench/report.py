@@ -11,6 +11,7 @@ __all__ = [
     "format_experiment",
     "format_experiment_markdown",
     "summarize_ratio",
+    "summary_record",
     "format_summary_line",
 ]
 
@@ -69,6 +70,31 @@ def summarize_ratio(
         "min": min(ratios),
         "max": max(ratios),
         "n": len(ratios),
+    }
+
+
+def summary_record(
+    exp: Experiment,
+    numerator: str,
+    denominator: str,
+    paper_value: Optional[str] = None,
+) -> dict:
+    """Machine-readable paper-vs-measured record for one experiment.
+
+    This is the JSON twin of :func:`format_summary_line`; the CLI's
+    ``summary --json`` emits a list of these.
+    """
+    s = summarize_ratio(exp, numerator, denominator)
+    return {
+        "exp_id": exp.exp_id,
+        "title": exp.title,
+        "numerator": numerator,
+        "denominator": denominator,
+        "mean_ratio": s["mean"],
+        "min_ratio": s["min"],
+        "max_ratio": s["max"],
+        "n": s["n"],
+        "paper": paper_value,
     }
 
 

@@ -7,6 +7,9 @@
     python -m repro run fig8a --arch maxwell # on another architecture
     python -m repro run all --skip-slow      # everything quick
     python -m repro summary                  # headline paper-vs-measured lines
+    python -m repro summary --json           # same, machine-readable
+    python -m repro serve --synthetic 200    # dynamic-batching serving engine
+    python -m repro serve --requests trace.json --deadline 2e-3
 
 Tables are printed to stdout (the same renderer the benchmark suite
 uses to fill ``benchmarks/output/``).
@@ -16,11 +19,13 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 from typing import List, Optional
 
 from repro.bench.figures import ALL_EXPERIMENTS
 from repro.bench.report import format_experiment, format_summary_line
+from repro.errors import ReproError
 from repro.gpu.arch import ARCHITECTURES
 
 __all__ = ["main", "build_parser"]
@@ -48,7 +53,43 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--skip-slow", action="store_true",
                      help="with 'all': skip the long-running experiments")
 
-    sub.add_parser("summary", help="print the headline paper-vs-measured lines")
+    summary = sub.add_parser(
+        "summary", help="print the headline paper-vs-measured lines")
+    summary.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON records")
+
+    serve = sub.add_parser(
+        "serve", help="serve a convolution trace through the serving engine")
+    src = serve.add_mutually_exclusive_group(required=True)
+    src.add_argument("--requests", metavar="PATH",
+                     help="JSON trace file (see repro.serve.save_trace)")
+    src.add_argument("--synthetic", type=int, metavar="N",
+                     help="generate a synthetic N-request mixed-shape trace")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for the synthetic trace")
+    serve.add_argument("--rate", type=float, default=50_000.0,
+                       help="synthetic arrival rate, requests per modeled "
+                       "second (0 = all arrive at t=0)")
+    serve.add_argument("--deadline", type=float, default=1e-3,
+                       help="batching latency deadline, modeled seconds")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="maximum requests coalesced into one launch")
+    serve.add_argument("--arch", choices=sorted(ARCHITECTURES),
+                       default="kepler")
+    serve.add_argument("--executor", choices=("reference", "kernel"),
+                       default="reference",
+                       help="functional executor for results (reference = "
+                       "golden bit-exact path; kernel = the planned "
+                       "backend's algorithm)")
+    serve.add_argument("--save-trace", metavar="PATH",
+                       help="also write the served trace to this JSON file")
+    serve.add_argument("--verify", action="store_true",
+                       help="check every response against conv2d_reference")
+    serve.add_argument("--compare-unbatched", action="store_true",
+                       help="also serve the trace with batching disabled and "
+                       "report both throughputs")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the stats snapshot as JSON")
 
     claims = sub.add_parser("claims",
                             help="verify every quantitative claim of the paper")
@@ -93,19 +134,109 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_summary() -> int:
+def _summary_entries():
+    """(experiment, numerator, denominator, paper value) headline tuples."""
     from repro.bench.figures import fig2_gemm, fig7_special, fig8_general
 
-    fig2 = fig2_gemm()
-    print(format_summary_line(fig2, "MAGMA", "cuBLAS", paper_value="2.4x"))
+    entries = [(fig2_gemm(), "MAGMA", "cuBLAS", "2.4x")]
     for k in (1, 3, 5):
-        exp = fig7_special(k)
         paper = {1: "6.16x", 3: "6.43x", 5: "2.90x"}[k]
-        print(format_summary_line(exp, "ours", "cuDNN", paper_value=paper))
+        entries.append((fig7_special(k), "ours", "cuDNN", paper))
     for k in (3, 5, 7):
-        exp = fig8_general(k)
         paper = {3: "+30.5%", 5: "+45.3%", 7: "+30.8%"}[k]
-        print(format_summary_line(exp, "ours", "cuDNN", paper_value=paper))
+        entries.append((fig8_general(k), "ours", "cuDNN", paper))
+    return entries
+
+
+def _cmd_summary(args) -> int:
+    from repro.bench.report import summary_record
+
+    entries = _summary_entries()
+    if args.json:
+        print(json.dumps(
+            [summary_record(exp, num, den, paper)
+             for exp, num, den, paper in entries], indent=2))
+        return 0
+    for exp, num, den, paper in entries:
+        print(format_summary_line(exp, num, den, paper_value=paper))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import numpy as np
+
+    from repro.conv.reference import conv2d_reference
+    from repro.serve import (
+        ServeEngine, format_stats, load_trace, save_trace, synthetic_trace,
+    )
+
+    if args.requests:
+        try:
+            trace = load_trace(args.requests)
+        except (OSError, json.JSONDecodeError, ReproError) as exc:
+            print("cannot load %s: %s" % (args.requests, exc),
+                  file=sys.stderr)
+            return 2
+    else:
+        if args.synthetic < 1:
+            print("--synthetic needs a positive request count",
+                  file=sys.stderr)
+            return 2
+        trace = synthetic_trace(
+            args.synthetic, seed=args.seed,
+            rate_hz=args.rate if args.rate > 0 else None,
+        )
+    if args.save_trace:
+        save_trace(args.save_trace, trace)
+
+    arch = ARCHITECTURES[args.arch]
+    try:
+        engine = ServeEngine(
+            arch=arch, deadline_s=args.deadline, max_batch=args.max_batch,
+            executor=args.executor,
+        )
+    except ReproError as exc:
+        print("bad serving configuration: %s" % exc, file=sys.stderr)
+        return 2
+    responses = engine.serve_trace(trace)
+
+    if args.verify:
+        for request, response in zip(trace, responses):
+            reference = conv2d_reference(
+                request.image, request.filters, request.problem.padding)
+            if args.executor == "reference":
+                ok = np.array_equal(response.output, reference)
+            else:
+                ok = np.allclose(response.output, reference,
+                                 rtol=1e-4, atol=1e-5)
+            if not ok:
+                print("request %d (%s backend) does not match the reference"
+                      % (request.req_id, response.backend), file=sys.stderr)
+                return 1
+
+    snap = engine.stats()
+    if args.compare_unbatched:
+        unbatched = ServeEngine(arch=arch, deadline_s=0.0, max_batch=1,
+                                executor=args.executor)
+        unbatched.serve_trace(trace)
+        snap["unbatched_throughput_rps"] = unbatched.stats()["throughput_rps"]
+        snap["batching_speedup"] = (
+            snap["throughput_rps"] / snap["unbatched_throughput_rps"]
+            if snap["unbatched_throughput_rps"] else 0.0
+        )
+
+    if args.json:
+        print(json.dumps(snap, indent=2))
+    else:
+        print(format_stats(snap))
+        if args.verify:
+            print("verified               : all %d responses match the "
+                  "reference" % len(responses))
+        if args.compare_unbatched:
+            print("unbatched throughput  : %.0f req/modeled-s "
+                  "(batching speedup %.2fx)"
+                  % (snap["unbatched_throughput_rps"],
+                     snap["batching_speedup"]))
     return 0
 
 
@@ -129,7 +260,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "summary":
-        return _cmd_summary()
+        return _cmd_summary(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "claims":
         return _cmd_claims(args)
     return 2

@@ -29,6 +29,7 @@ __all__ = [
     "enumerate_general_configs",
     "explore_special",
     "explore_general",
+    "best_config",
     "reproduce_table1",
     "DEFAULT_SPECIAL_PROBLEM",
     "default_general_problem",
@@ -166,6 +167,74 @@ def explore_general(
     )
 
 
+def _general_palette(kernel_size: int, n: int) -> List[GeneralCaseConfig]:
+    """The shippable general-case candidates: the Table 1 entry for this
+    filter size (or the conservative fallback), every Table 1 config, and
+    the narrow-block small-image palette."""
+    from repro.core.general import SMALL_IMAGE_CONFIGS, default_config_for
+
+    palette: List[GeneralCaseConfig] = []
+    try:
+        palette.append(default_config_for(kernel_size, n))
+    except ConfigurationError:
+        pass
+    for cfg in tuple(TABLE1_CONFIGS.values()) + SMALL_IMAGE_CONFIGS:
+        if cfg not in palette:
+            palette.append(cfg)
+    return palette
+
+
+def best_config(
+    problem: ConvProblem,
+    arch: GPUArchitecture = KEPLER_K40M,
+    case: Optional[str] = None,
+    full: bool = False,
+) -> RankedConfig:
+    """The winning configuration for one concrete problem.
+
+    This is the single entry point callers (the serving plan cache, the
+    Table 1 reproduction) should use instead of re-ranking
+    ``explore_special`` / ``explore_general`` results themselves.
+
+    Parameters
+    ----------
+    case:
+        ``"special"`` or ``"general"`` to force a kernel family;
+        ``None`` selects the special case exactly when the problem has a
+        single input channel.
+    full:
+        For the general case, search the whole Table 1 axis space (the
+        slow path ``reproduce_table1`` uses) instead of the shippable
+        palette of known-good configurations.
+
+    Raises
+    ------
+    ConfigurationError
+        If no candidate configuration is valid for the problem.
+    """
+    if case is None:
+        case = "special" if problem.channels == 1 else "general"
+    if case not in ("special", "general"):
+        raise ConfigurationError("unknown kernel case %r" % case)
+
+    if case == "special":
+        ranked = explore_special(arch, problem=problem)
+    else:
+        from repro.core.bankwidth import matched_vector
+
+        k = problem.as_valid().kernel_size
+        configs = None
+        if not full:
+            configs = _general_palette(k, matched_vector(arch).n)
+        ranked = explore_general(k, arch, problem=problem, configs=configs)
+    if not ranked:
+        raise ConfigurationError(
+            "no valid %s-case configuration for %r on %s"
+            % (case, problem, arch.name)
+        )
+    return ranked[0]
+
+
 @dataclass(frozen=True)
 class Table1Row:
     """Our explored best versus the paper's Table 1 for one filter size."""
@@ -192,10 +261,8 @@ def reproduce_table1(
     rows = []
     model = TimingModel(arch)
     for k in kernel_sizes:
-        ranked = explore_general(k, arch)
-        if not ranked:
-            raise ConfigurationError("no valid configuration for K=%d" % k)
         problem = default_general_problem(k)
+        best = best_config(problem, arch, case="general", full=True)
         paper_cfg = TABLE1_CONFIGS[k]
         paper_kernel = GeneralCaseKernel(arch=arch, config=paper_cfg)
         paper_gflops = paper_kernel.predict(problem, model).gflops(problem.flops)
@@ -203,8 +270,8 @@ def reproduce_table1(
             Table1Row(
                 kernel_size=k,
                 paper=paper_cfg,
-                ours=ranked[0].config,
-                ours_gflops=ranked[0].gflops,
+                ours=best.config,
+                ours_gflops=best.gflops,
                 paper_gflops=paper_gflops,
             )
         )

@@ -1,0 +1,212 @@
+"""Cost-model-driven backend dispatch.
+
+For each distinct problem shape the dispatcher builds a
+:class:`KernelPlan`: it autotunes the paper's kernels via
+:func:`repro.core.dse.best_config`, prices every enabled backend with
+the traced cost + timing models, and routes to the cheapest.  Plans are
+memoized in the :class:`~repro.serve.plan_cache.PlanCache`, so the
+design-space exploration is paid once per shape.
+
+Degradation is graceful at both stages: a backend whose planning or
+prediction raises is skipped (the naive-direct backend always plans), and
+a backend whose *functional* execution raises falls back to the naive
+backend for that request, which is re-priced accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.direct_naive import NaiveDirectKernel
+from repro.baselines.im2col import Im2colKernel
+from repro.baselines.implicit_gemm import ImplicitGemmKernel
+from repro.conv.reference import conv2d_reference
+from repro.conv.tensors import ConvProblem
+from repro.core.dse import best_config
+from repro.core.general import GeneralCaseKernel
+from repro.core.special import SpecialCaseKernel
+from repro.errors import ReproError
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.gpu.timing import TimingBreakdown, TimingModel
+from repro.serve.plan_cache import PlanCache
+from repro.serve.request import ConvRequest, plan_key
+
+__all__ = ["KernelPlan", "Dispatcher", "DEFAULT_BACKENDS"]
+
+#: Backend routing order (ties in predicted time break toward the first).
+DEFAULT_BACKENDS = ("special", "general", "im2col", "implicit-gemm", "naive")
+
+
+@dataclass
+class KernelPlan:
+    """The memoized serving decision for one problem shape."""
+
+    problem: ConvProblem
+    backend: str
+    kernel: object
+    breakdown: TimingBreakdown
+    config: object = None        # winning DSE config (paper kernels only)
+    source: str = "cost-model"   # "cost-model" | "degraded"
+    candidates: dict = field(default_factory=dict)  # backend -> predicted s
+
+    @property
+    def launch_s(self) -> float:
+        """Per-launch overhead — amortized across a batch."""
+        return self.breakdown.t_launch
+
+    @property
+    def busy_s(self) -> float:
+        """Modeled per-request execution time excluding launch overhead."""
+        return self.breakdown.total - self.breakdown.t_launch
+
+    def batch_seconds(self, batch_size: int) -> float:
+        """Modeled cost of serving ``batch_size`` requests as one launch."""
+        return self.launch_s + self.busy_s * batch_size
+
+
+class Dispatcher:
+    """Route requests to the cheapest predicted backend, with fallback."""
+
+    def __init__(
+        self,
+        arch: GPUArchitecture = KEPLER_K40M,
+        cache: Optional[PlanCache] = None,
+        model: Optional[TimingModel] = None,
+        backends: Sequence[str] = DEFAULT_BACKENDS,
+    ):
+        unknown = set(backends) - set(DEFAULT_BACKENDS)
+        if unknown:
+            raise ReproError("unknown backends %s" % sorted(unknown))
+        self.arch = arch
+        self.cache = cache if cache is not None else PlanCache()
+        self.model = model or TimingModel(arch)
+        # The naive backend is the degradation target; it is always on.
+        self.backends = tuple(backends)
+        if "naive" not in self.backends:
+            self.backends += ("naive",)
+        self._naive = NaiveDirectKernel(arch)
+        self._fallback_plans: Dict[ConvProblem, KernelPlan] = {}
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, problem: ConvProblem) -> KernelPlan:
+        """The (cached) serving plan for a problem shape."""
+        return self.cache.get_or_build(
+            plan_key(problem, self.arch), lambda: self.build_plan(problem)
+        )
+
+    def _candidates(self, problem: ConvProblem):
+        """Yield (backend name, kernel, winning config) triples."""
+        for name in self.backends:
+            try:
+                if name == "special":
+                    if problem.channels != 1:
+                        continue
+                    ranked = best_config(problem, self.arch, case="special")
+                    yield name, SpecialCaseKernel(
+                        arch=self.arch, config=ranked.config), ranked.config
+                elif name == "general":
+                    ranked = best_config(problem, self.arch, case="general")
+                    yield name, GeneralCaseKernel(
+                        arch=self.arch, config=ranked.config), ranked.config
+                elif name == "im2col":
+                    yield name, Im2colKernel(arch=self.arch), None
+                elif name == "implicit-gemm":
+                    yield name, ImplicitGemmKernel(arch=self.arch), None
+                else:
+                    yield name, self._naive, None
+            except ReproError:
+                continue
+
+    def build_plan(self, problem: ConvProblem) -> KernelPlan:
+        """Autotune + price every candidate; pick the cheapest predicted."""
+        best = None
+        candidates = {}
+        for name, kernel, config in self._candidates(problem):
+            try:
+                breakdown = kernel.predict(problem, self.model)
+            except ReproError:
+                continue
+            candidates[name] = breakdown.total
+            if best is None or breakdown.total < best.breakdown.total:
+                best = KernelPlan(
+                    problem=problem, backend=name, kernel=kernel,
+                    breakdown=breakdown, config=config,
+                )
+        if best is None:
+            # Every backend failed to even plan — degrade to naive.
+            best = self.fallback_plan(problem)
+            best = KernelPlan(
+                problem=problem, backend="naive", kernel=self._naive,
+                breakdown=best.breakdown, source="degraded",
+            )
+        best.candidates = candidates
+        return best
+
+    def fallback_plan(self, problem: ConvProblem) -> KernelPlan:
+        """The naive-direct plan used when another backend raises."""
+        plan = self._fallback_plans.get(problem)
+        if plan is None:
+            plan = KernelPlan(
+                problem=problem, backend="naive", kernel=self._naive,
+                breakdown=self._naive.predict(problem, self.model),
+            )
+            self._fallback_plans[problem] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_one(
+        self, plan: KernelPlan, request: ConvRequest, executor: str = "reference"
+    ) -> Tuple[np.ndarray, bool]:
+        """Serve one request; returns (output, fell_back).
+
+        ``executor="reference"`` computes the result with the golden
+        reference convolution (bit-exact responses; the planned backend
+        still determines the modeled cost).  ``executor="kernel"`` runs
+        the planned backend's functional algorithm; if it raises, the
+        request degrades to the naive backend.
+        """
+        if executor == "reference":
+            return conv2d_reference(
+                request.image, request.filters, request.problem.padding
+            ), False
+        if executor != "kernel":
+            raise ReproError("unknown executor %r" % executor)
+        try:
+            return plan.kernel.run(
+                request.image, request.filters, request.problem.padding
+            ), False
+        except Exception:
+            return self._naive.run(
+                request.image, request.filters, request.problem.padding
+            ), True
+
+    def execute(
+        self,
+        plan: KernelPlan,
+        requests: Sequence[ConvRequest],
+        executor: str = "reference",
+    ) -> Tuple[List[np.ndarray], List[bool], float]:
+        """Serve a same-shape batch under one plan.
+
+        Returns (outputs, fallback flags, modeled batch seconds).  The
+        batch is one modeled launch of the planned backend; requests that
+        fell back are re-priced as a second, naive launch.
+        """
+        outputs, fell = [], []
+        for request in requests:
+            out, fb = self.run_one(plan, request, executor)
+            outputs.append(out)
+            fell.append(fb)
+        n_fallback = sum(fell)
+        n_planned = len(requests) - n_fallback
+        seconds = plan.batch_seconds(n_planned) if n_planned else 0.0
+        if n_fallback:
+            seconds += self.fallback_plan(plan.problem).batch_seconds(n_fallback)
+        return outputs, fell, seconds

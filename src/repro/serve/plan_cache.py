@@ -1,0 +1,86 @@
+"""LRU cache of kernel plans, keyed by (problem shape, architecture).
+
+Planning a shape is the expensive part of serving: it runs the
+design-space explorer (:func:`repro.core.dse.best_config`) for the
+paper's kernels and prices every candidate backend through the traced
+cost + timing models.  Real workloads repeat a handful of layer shapes
+millions of times, so the cache pays that cost once per shape and the
+hit/miss/eviction counters feed the engine's stats surface.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Bounded LRU mapping of plan keys to planned backends."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ReproError("plan cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        # Peek without touching recency or the counters.
+        return key in self._entries
+
+    def lookup(self, key: Tuple) -> Optional[object]:
+        """Return the cached plan (refreshing recency) or None on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple, plan: object) -> None:
+        """Insert (or refresh) a plan, evicting the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = plan
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_build(self, key: Tuple, build: Callable[[], object]) -> object:
+        """The memoization entry point the dispatcher uses."""
+        plan = self.lookup(key)
+        if plan is None:
+            plan = build()
+            self.put(key, plan)
+        return plan
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,102 @@
+"""Request/response records for the serving engine.
+
+A :class:`ConvRequest` is one convolution to serve: the problem
+description, the input arrays, and a *modeled* arrival time (the serving
+engine keeps a virtual clock in modeled seconds, the same unit every
+:class:`~repro.gpu.timing.TimingBreakdown` reports).  A
+:class:`ConvResponse` carries the result plus the serving metadata the
+stats surface aggregates: which backend ran it, in which batch, and the
+modeled cost attributed to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.conv.tensors import ConvProblem, Padding
+from repro.errors import ShapeError
+from repro.gpu.arch import GPUArchitecture
+
+__all__ = ["ConvRequest", "ConvResponse", "plan_key", "request_from_arrays"]
+
+
+def plan_key(problem: ConvProblem, arch: GPUArchitecture) -> Tuple:
+    """Cache/batching key: the full problem shape plus the architecture.
+
+    ``ConvProblem`` is a frozen dataclass, so the problem itself is
+    hashable; the architecture contributes by name (presets are unique).
+    """
+    return (problem, arch.name)
+
+
+@dataclass(eq=False)
+class ConvRequest:
+    """One convolution to serve.
+
+    ``seed`` records the ``ConvProblem.random_instance`` seed the arrays
+    were generated from, when applicable — it is what trace files
+    persist instead of the raw arrays.
+    """
+
+    req_id: int
+    problem: ConvProblem
+    image: np.ndarray
+    filters: np.ndarray
+    arrival_s: float = 0.0
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        self.image = self.problem.check_image(self.image)
+        self.filters = self.problem.check_filters(self.filters)
+
+
+@dataclass(eq=False)
+class ConvResponse:
+    """The served result plus batching/dispatch metadata."""
+
+    req_id: int
+    output: np.ndarray
+    backend: str                 # backend that served it ("naive" on fallback)
+    batch_id: int
+    batch_size: int
+    modeled_seconds: float       # this request's share of the batch cost
+    completed_s: float           # virtual-clock completion time
+    latency_s: float             # completed_s - arrival_s
+    fallback: bool = False       # True when the planned backend raised
+    extras: dict = field(default_factory=dict)
+
+
+def request_from_arrays(
+    req_id: int,
+    image: np.ndarray,
+    filters: np.ndarray,
+    padding: Padding = Padding.VALID,
+    arrival_s: float = 0.0,
+    seed: Optional[int] = None,
+) -> ConvRequest:
+    """Build a request by inferring the :class:`ConvProblem` from arrays."""
+    img = np.asarray(image, dtype=np.float32)
+    if img.ndim == 2:
+        img = img[np.newaxis]
+    flt = np.asarray(filters, dtype=np.float32)
+    if flt.ndim == 2:
+        flt = flt[np.newaxis, np.newaxis]
+    elif flt.ndim == 3:
+        flt = flt[:, np.newaxis]
+    if img.ndim != 3 or flt.ndim != 4:
+        raise ShapeError("image must be (C,H,W) and filters (F,C,K,K)")
+    problem = ConvProblem(
+        height=img.shape[1],
+        width=img.shape[2],
+        channels=img.shape[0],
+        filters=flt.shape[0],
+        kernel_size=flt.shape[2],
+        padding=padding,
+    )
+    return ConvRequest(
+        req_id=req_id, problem=problem, image=img, filters=flt,
+        arrival_s=arrival_s, seed=seed,
+    )

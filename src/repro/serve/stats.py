@@ -1,0 +1,127 @@
+"""The serving engine's stats surface.
+
+Aggregates everything an operator would watch on a dashboard: request
+and batch counts per backend, the batch-size histogram, latency
+aggregates, the plan-cache hit rate, and a histogram of modeled batch
+cost in GPU cycles (log-scaled buckets).  ``snapshot()`` returns a
+plain JSON-serializable dict; ``format_stats`` renders it for humans.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Optional
+
+__all__ = ["ServeStats", "format_stats"]
+
+
+class ServeStats:
+    """Mutable accumulator the engine feeds as batches complete."""
+
+    def __init__(self, clock_hz: float):
+        self.clock_hz = clock_hz
+        self.served = 0
+        self.batches = 0
+        self.fallbacks = 0
+        self.busy_s = 0.0
+        self.requests_per_backend = Counter()
+        self.batches_per_backend = Counter()
+        self.batch_sizes = Counter()
+        self.flush_reasons = Counter()
+        self.cycles_hist = Counter()     # log10 bucket -> batch count
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
+
+    # ------------------------------------------------------------------
+    def record_batch(
+        self,
+        backend: str,
+        batch_size: int,
+        seconds: float,
+        reason: str,
+        fallbacks: int = 0,
+    ) -> None:
+        self.batches += 1
+        self.served += batch_size
+        self.fallbacks += fallbacks
+        self.busy_s += seconds
+        self.requests_per_backend[backend] += batch_size - fallbacks
+        if fallbacks:
+            self.requests_per_backend["naive"] += fallbacks
+        self.batches_per_backend[backend] += 1
+        self.batch_sizes[batch_size] += 1
+        self.flush_reasons[reason] += 1
+        cycles = seconds * self.clock_hz
+        bucket = int(math.floor(math.log10(cycles))) if cycles > 0 else 0
+        self.cycles_hist["1e%d" % bucket] += 1
+
+    def record_latency(self, latency_s: float) -> None:
+        self._latency_sum += latency_s
+        self._latency_max = max(self._latency_max, latency_s)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_batch_size(self) -> float:
+        return self.served / self.batches if self.batches else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Served requests per modeled second of backend execution."""
+        return self.served / self.busy_s if self.busy_s > 0 else 0.0
+
+    def snapshot(self, cache_stats: Optional[dict] = None) -> dict:
+        snap = {
+            "served": self.served,
+            "batches": self.batches,
+            "fallbacks": self.fallbacks,
+            "mean_batch_size": self.mean_batch_size,
+            "modeled_busy_seconds": self.busy_s,
+            "throughput_rps": self.throughput_rps,
+            "mean_latency_s": (self._latency_sum / self.served
+                               if self.served else 0.0),
+            "max_latency_s": self._latency_max,
+            "requests_per_backend": dict(self.requests_per_backend),
+            "batches_per_backend": dict(self.batches_per_backend),
+            "batch_size_hist": {str(k): v for k, v in
+                                sorted(self.batch_sizes.items())},
+            "flush_reasons": dict(self.flush_reasons),
+            "modeled_cycles_hist": {k: self.cycles_hist[k] for k in
+                                    sorted(self.cycles_hist)},
+        }
+        if cache_stats is not None:
+            snap["plan_cache"] = dict(cache_stats)
+        return snap
+
+
+def format_stats(snap: dict) -> str:
+    """Human-readable rendering of a :meth:`ServeStats.snapshot` dict."""
+    lines = []
+    lines.append("served %d requests in %d batches (mean batch %.2f)"
+                 % (snap["served"], snap["batches"], snap["mean_batch_size"]))
+    lines.append("modeled busy time     : %.6f s" % snap["modeled_busy_seconds"])
+    lines.append("throughput            : %.0f req/modeled-s"
+                 % snap["throughput_rps"])
+    lines.append("latency mean / max    : %.2e / %.2e s"
+                 % (snap["mean_latency_s"], snap["max_latency_s"]))
+    lines.append("fallbacks             : %d" % snap["fallbacks"])
+    per_backend = ", ".join(
+        "%s=%d" % (name, count)
+        for name, count in sorted(snap["requests_per_backend"].items())
+    ) or "none"
+    lines.append("requests per backend  : %s" % per_backend)
+    if "plan_cache" in snap:
+        cache = snap["plan_cache"]
+        lines.append(
+            "plan cache            : %d/%d entries, hit rate %.3f "
+            "(%d hits, %d misses, %d evictions)"
+            % (cache["entries"], cache["capacity"], cache["hit_rate"],
+               cache["hits"], cache["misses"], cache["evictions"])
+        )
+    sizes = ", ".join("%s:%d" % (k, v)
+                      for k, v in snap["batch_size_hist"].items())
+    lines.append("batch-size histogram  : %s" % (sizes or "none"))
+    cycles = ", ".join("%s:%d" % (k, v)
+                       for k, v in snap["modeled_cycles_hist"].items())
+    lines.append("batch-cycles histogram: %s" % (cycles or "none"))
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Synthetic traffic traces and their JSON persistence.
+
+A trace is a list of :class:`~repro.serve.request.ConvRequest` with
+modeled arrival times.  The synthetic generator draws shapes from a
+mixed CNN-layer palette (repeating shapes, the case a plan cache and a
+batcher exist for) with exponential inter-arrival times; trace files
+persist the problem parameters and the data seed — not the raw arrays —
+so a multi-megabyte workload is a few kilobytes of JSON and reloads
+reproducibly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+from repro.conv.tensors import ConvProblem, Padding
+from repro.errors import ReproError
+from repro.serve.request import ConvRequest
+
+__all__ = [
+    "DEFAULT_SERVING_SHAPES",
+    "synthetic_trace",
+    "save_trace",
+    "load_trace",
+]
+
+#: Mixed serving workload: single-channel image-processing shapes (the
+#: special kernel's case) next to small multi-channel CNN layers.
+DEFAULT_SERVING_SHAPES = (
+    ConvProblem.square(64, 3, channels=1, filters=8),
+    ConvProblem.square(48, 3, channels=1, filters=4),
+    ConvProblem.square(32, 3, channels=8, filters=16),
+    ConvProblem.square(32, 5, channels=4, filters=8),
+    ConvProblem.square(64, 3, channels=4, filters=8),
+    ConvProblem.square(24, 3, channels=16, filters=16),
+)
+
+
+def synthetic_trace(
+    n_requests: int,
+    shapes: Sequence[ConvProblem] = DEFAULT_SERVING_SHAPES,
+    seed: int = 0,
+    rate_hz: Optional[float] = 50_000.0,
+) -> List[ConvRequest]:
+    """Generate a reproducible mixed-shape request trace.
+
+    ``rate_hz`` is the mean arrival rate in requests per *modeled*
+    second (inter-arrival times are exponential); ``None`` makes every
+    request arrive at t=0 (a closed-loop burst).
+    """
+    import numpy as np
+
+    if n_requests < 1:
+        raise ReproError("a trace needs at least one request")
+    if not shapes:
+        raise ReproError("a trace needs at least one shape")
+    rng = np.random.default_rng(seed)
+    clock = 0.0
+    requests = []
+    for i in range(n_requests):
+        problem = shapes[int(rng.integers(len(shapes)))]
+        if rate_hz is not None:
+            clock += float(rng.exponential(1.0 / rate_hz))
+        data_seed = seed + 1000 * i
+        image, filters = problem.random_instance(seed=data_seed)
+        requests.append(ConvRequest(
+            req_id=i, problem=problem, image=image, filters=filters,
+            arrival_s=clock, seed=data_seed,
+        ))
+    return requests
+
+
+def save_trace(path: str, requests: Sequence[ConvRequest]) -> None:
+    """Persist a trace as JSON (problem parameters + data seeds)."""
+    records = []
+    for request in requests:
+        if request.seed is None:
+            raise ReproError(
+                "request %d has no data seed; only seeded traces persist"
+                % request.req_id
+            )
+        p = request.problem
+        records.append({
+            "req_id": request.req_id,
+            "height": p.height,
+            "width": p.width,
+            "channels": p.channels,
+            "filters": p.filters,
+            "kernel_size": p.kernel_size,
+            "padding": p.padding.value,
+            "arrival_s": request.arrival_s,
+            "seed": request.seed,
+        })
+    with open(path, "w") as fh:
+        json.dump({"version": 1, "requests": records}, fh, indent=1)
+
+
+def load_trace(path: str) -> List[ConvRequest]:
+    """Inverse of :func:`save_trace`: rebuild requests (and their data)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    requests = []
+    try:
+        for rec in data["requests"]:
+            problem = ConvProblem(
+                height=rec["height"],
+                width=rec["width"],
+                channels=rec["channels"],
+                filters=rec["filters"],
+                kernel_size=rec["kernel_size"],
+                padding=Padding(rec.get("padding", "valid")),
+            )
+            image, filters = problem.random_instance(seed=rec["seed"])
+            requests.append(ConvRequest(
+                req_id=rec["req_id"], problem=problem, image=image,
+                filters=filters, arrival_s=rec.get("arrival_s", 0.0),
+                seed=rec["seed"],
+            ))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(
+            "%s is not a serving trace (%s: %s)"
+            % (path, type(exc).__name__, exc)) from exc
+    return requests

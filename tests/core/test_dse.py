@@ -5,6 +5,7 @@ import pytest
 from repro.conv.tensors import ConvProblem
 from repro.core.config import TABLE1_CONFIGS, SpecialCaseConfig
 from repro.core.dse import (
+    best_config,
     default_general_problem,
     enumerate_general_configs,
     enumerate_special_configs,
@@ -12,6 +13,7 @@ from repro.core.dse import (
     explore_special,
     reproduce_table1,
 )
+from repro.errors import ConfigurationError
 from repro.gpu.arch import KEPLER_K40M
 
 
@@ -80,3 +82,51 @@ class TestGeneralExploration:
     def test_default_problem_shape(self):
         p = default_general_problem(5)
         assert p.kernel_size == 5 and p.channels == 64
+
+
+class TestBestConfig:
+    def test_single_channel_selects_special_case(self):
+        from repro.core.config import SpecialCaseConfig as SCC
+
+        p = ConvProblem.square(64, 3, channels=1, filters=8)
+        ranked = best_config(p)
+        assert isinstance(ranked.config, SCC)
+
+    def test_multi_channel_selects_general_case(self):
+        from repro.core.config import GeneralCaseConfig as GCC
+
+        p = ConvProblem.square(32, 3, channels=8, filters=16)
+        ranked = best_config(p)
+        assert isinstance(ranked.config, GCC)
+        assert ranked.gflops > 0
+
+    def test_case_can_be_forced(self):
+        from repro.core.config import GeneralCaseConfig as GCC
+
+        p = ConvProblem.square(64, 3, channels=1, filters=8)
+        ranked = best_config(p, case="general")
+        assert isinstance(ranked.config, GCC)
+
+    def test_matches_explored_best(self):
+        p = ConvProblem.square(64, 3, channels=1, filters=8)
+        assert best_config(p).config == explore_special(
+            KEPLER_K40M, problem=p)[0].config
+
+    def test_unknown_case_rejected(self):
+        p = ConvProblem.square(32, 3, channels=2, filters=4)
+        with pytest.raises(ConfigurationError):
+            best_config(p, case="winograd")
+
+    def test_special_case_requires_single_channel(self):
+        p = ConvProblem.square(32, 3, channels=4, filters=4)
+        with pytest.raises(ConfigurationError):
+            best_config(p, case="special")
+
+    def test_quick_palette_is_fast_and_valid(self):
+        import time
+
+        p = ConvProblem.square(48, 5, channels=4, filters=8)
+        start = time.monotonic()
+        ranked = best_config(p)
+        assert time.monotonic() - start < 2.0
+        ranked.config.validate(p.kernel_size, 2)

@@ -1,0 +1,103 @@
+"""Tests for the dynamic batcher: deadline flush, size flush, drain."""
+
+import pytest
+
+from repro.conv.tensors import ConvProblem
+from repro.errors import ReproError
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.request import ConvRequest
+
+
+def make_request(req_id, problem=None, arrival_s=0.0):
+    problem = problem or ConvProblem.square(16, 3, channels=1, filters=2)
+    image, filters = problem.random_instance(seed=req_id)
+    return ConvRequest(req_id=req_id, problem=problem, image=image,
+                       filters=filters, arrival_s=arrival_s)
+
+
+class TestDeadlineFlush:
+    def test_not_due_before_deadline(self):
+        batcher = DynamicBatcher(deadline_s=1e-3, max_batch=8)
+        batcher.add("k", make_request(0), now=0.0)
+        assert batcher.due(now=0.5e-3) == []
+        assert batcher.pending == 1
+
+    def test_due_at_deadline(self):
+        batcher = DynamicBatcher(deadline_s=1e-3, max_batch=8)
+        batcher.add("k", make_request(0, arrival_s=0.0), now=0.0)
+        batcher.add("k", make_request(1, arrival_s=0.4e-3), now=0.4e-3)
+        batches = batcher.due(now=1e-3)
+        assert len(batches) == 1
+        assert batches[0].reason == "deadline"
+        assert len(batches[0]) == 2
+        assert batcher.pending == 0
+
+    def test_deadline_runs_from_oldest_member(self):
+        # A later arrival must not extend the oldest request's wait.
+        batcher = DynamicBatcher(deadline_s=1e-3, max_batch=8)
+        batcher.add("k", make_request(0), now=0.0)
+        batcher.add("k", make_request(1), now=0.9e-3)
+        assert len(batcher.due(now=1e-3)) == 1
+
+    def test_groups_flush_independently(self):
+        batcher = DynamicBatcher(deadline_s=1e-3, max_batch=8)
+        batcher.add("a", make_request(0), now=0.0)
+        batcher.add("b", make_request(1), now=0.8e-3)
+        batches = batcher.due(now=1.0e-3)
+        assert [b.key for b in batches] == ["a"]
+        assert batcher.pending == 1
+
+    def test_next_deadline(self):
+        batcher = DynamicBatcher(deadline_s=1e-3, max_batch=8)
+        assert batcher.next_deadline() is None
+        batcher.add("a", make_request(0), now=2e-3)
+        batcher.add("b", make_request(1), now=1e-3)
+        assert batcher.next_deadline() == pytest.approx(2e-3)
+
+    def test_zero_deadline_due_immediately(self):
+        batcher = DynamicBatcher(deadline_s=0.0, max_batch=8)
+        batcher.add("k", make_request(0), now=5.0)
+        assert len(batcher.due(now=5.0)) == 1
+
+
+class TestSizeFlush:
+    def test_full_batch_returned_by_add(self):
+        batcher = DynamicBatcher(deadline_s=1.0, max_batch=3)
+        assert batcher.add("k", make_request(0), now=0.0) is None
+        assert batcher.add("k", make_request(1), now=0.0) is None
+        full = batcher.add("k", make_request(2), now=0.0)
+        assert full is not None and full.reason == "full"
+        assert len(full) == 3
+        assert batcher.pending == 0
+
+    def test_max_batch_one_flushes_every_add(self):
+        batcher = DynamicBatcher(deadline_s=1.0, max_batch=1)
+        full = batcher.add("k", make_request(0), now=0.0)
+        assert full is not None and len(full) == 1
+
+    def test_different_shapes_never_coalesce(self):
+        batcher = DynamicBatcher(deadline_s=1.0, max_batch=2)
+        assert batcher.add("a", make_request(0), now=0.0) is None
+        assert batcher.add("b", make_request(1), now=0.0) is None
+        assert batcher.pending == 2
+
+
+class TestDrain:
+    def test_drain_pops_everything_in_age_order(self):
+        batcher = DynamicBatcher(deadline_s=1.0, max_batch=8)
+        batcher.add("b", make_request(0), now=2.0)
+        batcher.add("a", make_request(1), now=1.0)
+        batches = batcher.drain()
+        assert [b.key for b in batches] == ["a", "b"]
+        assert all(b.reason == "drain" for b in batches)
+        assert batcher.pending == 0
+
+
+class TestValidation:
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ReproError):
+            DynamicBatcher(deadline_s=-1.0)
+
+    def test_zero_max_batch_rejected(self):
+        with pytest.raises(ReproError):
+            DynamicBatcher(max_batch=0)

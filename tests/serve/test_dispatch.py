@@ -1,0 +1,153 @@
+"""Tests for cost-model-driven dispatch and graceful degradation."""
+
+import numpy as np
+import pytest
+
+from repro.conv.reference import conv2d_reference
+from repro.conv.tensors import ConvProblem
+from repro.errors import ReproError
+from repro.serve.dispatch import DEFAULT_BACKENDS, Dispatcher, KernelPlan
+from repro.serve.plan_cache import PlanCache
+from repro.serve.request import ConvRequest
+
+SPECIAL = ConvProblem.square(48, 3, channels=1, filters=4)
+GENERAL = ConvProblem.square(32, 3, channels=8, filters=16)
+
+
+def make_request(problem, req_id=0):
+    image, filters = problem.random_instance(seed=req_id)
+    return ConvRequest(req_id=req_id, problem=problem, image=image,
+                       filters=filters)
+
+
+class TestPlanning:
+    def test_plan_picks_cheapest_candidate(self):
+        dispatcher = Dispatcher()
+        plan = dispatcher.plan(GENERAL)
+        assert plan.backend in DEFAULT_BACKENDS
+        assert plan.breakdown.total == min(plan.candidates.values())
+        assert plan.candidates[plan.backend] == plan.breakdown.total
+
+    def test_special_candidate_only_for_single_channel(self):
+        dispatcher = Dispatcher()
+        assert "special" in dispatcher.plan(SPECIAL).candidates
+        assert "special" not in dispatcher.plan(GENERAL).candidates
+
+    def test_paper_kernel_plans_carry_their_dse_config(self):
+        dispatcher = Dispatcher(backends=("general",))
+        plan = dispatcher.plan(GENERAL)
+        assert plan.backend == "general"
+        assert plan.config is not None
+
+    def test_plans_are_cached_per_shape(self):
+        cache = PlanCache()
+        dispatcher = Dispatcher(cache=cache)
+        first = dispatcher.plan(GENERAL)
+        second = dispatcher.plan(GENERAL)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_naive_backend_always_enabled(self):
+        dispatcher = Dispatcher(backends=("general",))
+        assert "naive" in dispatcher.backends
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError):
+            Dispatcher(backends=("special", "tensor-core"))
+
+    def test_degrades_to_naive_when_nothing_plans(self, monkeypatch):
+        dispatcher = Dispatcher()
+
+        class Exploding:
+            name = "boom"
+
+            def predict(self, problem, model=None):
+                raise ReproError("no plan for you")
+
+        monkeypatch.setattr(
+            dispatcher, "_candidates",
+            lambda problem: iter([("general", Exploding(), None)]),
+        )
+        plan = dispatcher.build_plan(GENERAL)
+        assert plan.backend == "naive"
+        assert plan.source == "degraded"
+
+    def test_batch_seconds_amortizes_launch_only(self):
+        dispatcher = Dispatcher()
+        plan = dispatcher.plan(GENERAL)
+        t4 = plan.batch_seconds(4)
+        assert t4 == pytest.approx(plan.launch_s + 4 * plan.busy_s)
+        assert t4 < 4 * plan.breakdown.total
+
+
+class TestExecution:
+    def test_reference_executor_is_bit_exact(self):
+        dispatcher = Dispatcher()
+        plan = dispatcher.plan(GENERAL)
+        request = make_request(GENERAL)
+        output, fell = dispatcher.run_one(plan, request, executor="reference")
+        assert not fell
+        assert np.array_equal(
+            output, conv2d_reference(request.image, request.filters))
+
+    def test_kernel_executor_matches_reference(self):
+        dispatcher = Dispatcher(backends=("general",))
+        plan = dispatcher.plan(GENERAL)
+        request = make_request(GENERAL)
+        output, fell = dispatcher.run_one(plan, request, executor="kernel")
+        assert not fell
+        np.testing.assert_allclose(
+            output, conv2d_reference(request.image, request.filters),
+            rtol=1e-4, atol=1e-5)
+
+    def test_unknown_executor_rejected(self):
+        dispatcher = Dispatcher()
+        plan = dispatcher.plan(GENERAL)
+        with pytest.raises(ReproError):
+            dispatcher.run_one(plan, make_request(GENERAL), executor="magic")
+
+    def test_fallback_on_kernel_error(self):
+        dispatcher = Dispatcher()
+        plan = dispatcher.plan(GENERAL)
+
+        class Broken:
+            name = "broken"
+
+            def run(self, image, filters, padding):
+                raise RuntimeError("kernel exploded")
+
+        broken_plan = KernelPlan(
+            problem=GENERAL, backend=plan.backend, kernel=Broken(),
+            breakdown=plan.breakdown, config=plan.config,
+        )
+        requests = [make_request(GENERAL, i) for i in range(3)]
+        outputs, fell, seconds = dispatcher.execute(
+            broken_plan, requests, executor="kernel")
+        assert fell == [True, True, True]
+        for request, output in zip(requests, outputs):
+            assert np.array_equal(
+                output, conv2d_reference(request.image, request.filters))
+        # The batch is re-priced as a naive launch.
+        naive = dispatcher.fallback_plan(GENERAL)
+        assert seconds == pytest.approx(naive.batch_seconds(3))
+
+    def test_partial_fallback_prices_both_launches(self, monkeypatch):
+        dispatcher = Dispatcher()
+        plan = dispatcher.plan(GENERAL)
+        requests = [make_request(GENERAL, i) for i in range(4)]
+
+        calls = []
+        real = dispatcher.run_one
+
+        def flaky(p, request, executor="reference"):
+            calls.append(request.req_id)
+            if request.req_id == 2:
+                return real(p, request, executor="reference")[0], True
+            return real(p, request, executor="reference")
+
+        monkeypatch.setattr(dispatcher, "run_one", flaky)
+        _, fell, seconds = dispatcher.execute(plan, requests)
+        assert fell == [False, False, True, False]
+        naive = dispatcher.fallback_plan(GENERAL)
+        assert seconds == pytest.approx(
+            plan.batch_seconds(3) + naive.batch_seconds(1))

@@ -1,0 +1,195 @@
+"""End-to-end tests of the serving engine (and its asyncio facade)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.conv.reference import conv2d_reference
+from repro.conv.tensors import ConvProblem
+from repro.errors import ReproError
+from repro.serve import (
+    AsyncServeEngine,
+    ServeEngine,
+    load_trace,
+    save_trace,
+    synthetic_trace,
+)
+
+TRACE = synthetic_trace(40, seed=5)
+
+
+class TestServeTrace:
+    def test_serves_mixed_trace_bit_exact(self):
+        engine = ServeEngine(deadline_s=1e-3, max_batch=16)
+        responses = engine.serve_trace(TRACE)
+        assert len(responses) == len(TRACE)
+        for request, response in zip(TRACE, responses):
+            assert response.req_id == request.req_id
+            reference = conv2d_reference(
+                request.image, request.filters, request.problem.padding)
+            assert np.array_equal(response.output, reference)
+
+    def test_kernel_executor_matches_reference(self):
+        engine = ServeEngine(executor="kernel", max_batch=8)
+        responses = engine.serve_trace(synthetic_trace(12, seed=2))
+        for request, response in zip(synthetic_trace(12, seed=2), responses):
+            reference = conv2d_reference(
+                request.image, request.filters, request.problem.padding)
+            np.testing.assert_allclose(response.output, reference,
+                                       rtol=1e-4, atol=1e-5)
+
+    def test_batches_coalesce_same_shape(self):
+        engine = ServeEngine(deadline_s=1e-3, max_batch=16)
+        engine.serve_trace(TRACE)
+        snap = engine.stats()
+        assert snap["served"] == len(TRACE)
+        assert snap["mean_batch_size"] > 1.0
+        assert snap["batches"] < len(TRACE)
+
+    def test_unbatched_engine_serves_singletons(self):
+        engine = ServeEngine(deadline_s=0.0, max_batch=1)
+        engine.serve_trace(TRACE)
+        snap = engine.stats()
+        assert snap["mean_batch_size"] == 1.0
+        assert snap["batches"] == len(TRACE)
+
+    def test_batched_throughput_beats_unbatched(self):
+        batched = ServeEngine(deadline_s=1e-3, max_batch=16)
+        batched.serve_trace(TRACE)
+        unbatched = ServeEngine(deadline_s=0.0, max_batch=1)
+        unbatched.serve_trace(TRACE)
+        assert (batched.stats()["throughput_rps"]
+                > unbatched.stats()["throughput_rps"])
+
+    def test_plan_cache_hit_rate_on_repeated_shapes(self):
+        engine = ServeEngine(deadline_s=1e-3, max_batch=16)
+        engine.serve_trace(TRACE)
+        cache = engine.stats()["plan_cache"]
+        assert cache["misses"] == len({r.problem for r in TRACE})
+        assert cache["hit_rate"] > 0.8
+
+    def test_latency_accounting(self):
+        engine = ServeEngine(deadline_s=1e-3, max_batch=16)
+        responses = engine.serve_trace(TRACE)
+        for request, response in zip(TRACE, responses):
+            assert response.latency_s == pytest.approx(
+                response.completed_s - request.arrival_s)
+            assert response.latency_s > 0
+        assert engine.stats()["max_latency_s"] >= engine.stats()["mean_latency_s"]
+
+    def test_virtual_clock_is_monotone(self):
+        engine = ServeEngine(deadline_s=1e-3, max_batch=16)
+        responses = engine.serve_trace(TRACE)
+        completions = [r.completed_s for r in
+                       sorted(responses, key=lambda r: r.batch_id)]
+        assert completions == sorted(completions)
+        assert engine.clock_s == max(completions)
+
+
+class TestOnlineMode:
+    def test_submit_then_flush(self):
+        engine = ServeEngine(deadline_s=1.0, max_batch=64)
+        problem = ConvProblem.square(24, 3, channels=1, filters=2)
+        for i in range(3):
+            image, filters = problem.random_instance(seed=i)
+            assert engine.submit(engine.make_request(image, filters)) == []
+        responses = engine.flush()
+        assert len(responses) == 3
+        assert {r.batch_size for r in responses} == {3}
+
+    def test_submit_flushes_full_group(self):
+        engine = ServeEngine(deadline_s=1.0, max_batch=2)
+        problem = ConvProblem.square(24, 3, channels=1, filters=2)
+        image, filters = problem.random_instance(seed=0)
+        assert engine.submit(engine.make_request(image, filters)) == []
+        responses = engine.submit(engine.make_request(image, filters))
+        assert len(responses) == 2
+
+    def test_poll_respects_deadline(self):
+        engine = ServeEngine(deadline_s=1e-3, max_batch=64)
+        problem = ConvProblem.square(24, 3, channels=1, filters=2)
+        image, filters = problem.random_instance(seed=0)
+        engine.submit(engine.make_request(image, filters, arrival_s=0.0))
+        assert engine.poll(0.5e-3) == []
+        responses = engine.poll(2e-3)
+        assert len(responses) == 1
+        # Deadline-flushed batches start at the deadline, not the poll.
+        assert responses[0].completed_s < 2e-3
+
+    def test_execute_now_rejects_mixed_shapes(self):
+        engine = ServeEngine()
+        p1 = ConvProblem.square(24, 3, channels=1, filters=2)
+        p2 = ConvProblem.square(32, 3, channels=1, filters=2)
+        requests = [
+            engine.make_request(*p1.random_instance(seed=0)),
+            engine.make_request(*p2.random_instance(seed=1)),
+        ]
+        with pytest.raises(ReproError):
+            engine.execute_now(requests)
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ReproError):
+            ServeEngine(executor="quantum")
+
+
+class TestAsyncEngine:
+    def test_concurrent_submissions_batch_together(self):
+        async def scenario():
+            engine = AsyncServeEngine(
+                ServeEngine(max_batch=8), window_s=0.02)
+            problem = ConvProblem.square(24, 3, channels=1, filters=2)
+            pairs = [problem.random_instance(seed=i) for i in range(4)]
+            responses = await asyncio.gather(*[
+                engine.submit(image, filters) for image, filters in pairs
+            ])
+            await engine.drain()
+            return pairs, responses
+
+        pairs, responses = asyncio.run(scenario())
+        assert [r.batch_size for r in responses] == [4, 4, 4, 4]
+        assert len({r.batch_id for r in responses}) == 1
+        for (image, filters), response in zip(pairs, responses):
+            assert np.array_equal(
+                response.output, conv2d_reference(image, filters))
+
+    def test_full_group_flushes_without_waiting(self):
+        async def scenario():
+            engine = AsyncServeEngine(
+                ServeEngine(max_batch=2), window_s=30.0)
+            problem = ConvProblem.square(24, 3, channels=1, filters=2)
+            pairs = [problem.random_instance(seed=i) for i in range(2)]
+            responses = await asyncio.wait_for(asyncio.gather(*[
+                engine.submit(image, filters) for image, filters in pairs
+            ]), timeout=5.0)
+            return responses
+
+        responses = asyncio.run(scenario())
+        assert [r.batch_size for r in responses] == [2, 2]
+
+
+class TestTracePersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        save_trace(path, TRACE)
+        loaded = load_trace(path)
+        assert len(loaded) == len(TRACE)
+        for original, copy in zip(TRACE, loaded):
+            assert copy.req_id == original.req_id
+            assert copy.problem == original.problem
+            assert copy.arrival_s == pytest.approx(original.arrival_s)
+            assert np.array_equal(copy.image, original.image)
+            assert np.array_equal(copy.filters, original.filters)
+
+    def test_unseeded_requests_do_not_persist(self, tmp_path):
+        engine = ServeEngine()
+        problem = ConvProblem.square(24, 3, channels=1, filters=2)
+        request = engine.make_request(*problem.random_instance(seed=0))
+        with pytest.raises(ReproError):
+            save_trace(str(tmp_path / "t.json"), [request])
+
+    def test_synthetic_trace_validation(self):
+        with pytest.raises(ReproError):
+            synthetic_trace(0)
+        with pytest.raises(ReproError):
+            synthetic_trace(5, shapes=())

@@ -48,6 +48,60 @@ class TestSummary:
         assert "[paper: 2.4x]" in out
         assert out.count("ours / cuDNN") == 6
 
+    def test_summary_json(self, capsys):
+        import json
+
+        assert main(["summary", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 7
+        assert records[0]["exp_id"] == "fig2"
+        assert records[0]["paper"] == "2.4x"
+        for record in records:
+            assert set(record) >= {"exp_id", "numerator", "denominator",
+                                   "mean_ratio", "min_ratio", "max_ratio", "n"}
+            assert record["min_ratio"] <= record["mean_ratio"] <= record["max_ratio"]
+
+
+class TestServe:
+    def test_serve_synthetic_text(self, capsys):
+        assert main(["serve", "--synthetic", "30", "--verify",
+                     "--compare-unbatched"]) == 0
+        out = capsys.readouterr().out
+        assert "served 30 requests" in out
+        assert "plan cache" in out
+        assert "all 30 responses match the reference" in out
+        assert "batching speedup" in out
+
+    def test_serve_synthetic_json(self, capsys):
+        import json
+
+        assert main(["serve", "--synthetic", "25", "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["served"] == 25
+        assert snap["plan_cache"]["hit_rate"] > 0.5
+        assert snap["throughput_rps"] > 0
+
+    def test_serve_trace_file_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert main(["serve", "--synthetic", "10",
+                     "--save-trace", path]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--requests", path, "--verify"]) == 0
+        assert "served 10 requests" in capsys.readouterr().out
+
+    def test_serve_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_rejects_bad_synthetic_count(self, capsys):
+        assert main(["serve", "--synthetic", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_serve_kernel_executor(self, capsys):
+        assert main(["serve", "--synthetic", "8", "--executor", "kernel",
+                     "--verify"]) == 0
+        assert "served 8 requests" in capsys.readouterr().out
+
 
 class TestParser:
     def test_requires_command(self):

@@ -58,8 +58,14 @@ class TestExamples:
         assert "K=3" in out and "K=7" in out
         assert "paper Table 1" in out
 
+    def test_serving_demo(self, capsys):
+        out = run_example("serving_demo.py", capsys)
+        assert "bit-exact vs conv2d_reference : 120/120 match" in out
+        assert "plan cache" in out
+        assert "batching speedup" in out
+
     def test_all_examples_present(self):
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {"quickstart.py", "edge_detection.py", "cnn_forward.py",
                 "cnn_training_step.py", "autotune_table1.py",
-                "bankwidth_microbench.py"} <= names
+                "bankwidth_microbench.py", "serving_demo.py"} <= names
