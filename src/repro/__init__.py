@@ -54,8 +54,9 @@ from repro.serve.engine import AsyncServeEngine, ServeEngine
 from repro.serve.dispatch import Dispatcher
 from repro.serve.plan_cache import PlanCache
 from repro.serve.trace import synthetic_trace
+from repro.obs import Registry, Tracer, instrument
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ConvProblem",
@@ -84,5 +85,8 @@ __all__ = [
     "Dispatcher",
     "PlanCache",
     "synthetic_trace",
+    "Registry",
+    "Tracer",
+    "instrument",
     "__version__",
 ]

@@ -10,6 +10,8 @@
     python -m repro summary --json           # same, machine-readable
     python -m repro serve --synthetic 200    # dynamic-batching serving engine
     python -m repro serve --requests trace.json --deadline 2e-3
+    python -m repro serve --synthetic 50 --emit-trace out.json   # Perfetto trace
+    python -m repro obs --format prometheus  # telemetry registry dump
 
 Tables are printed to stdout (the same renderer the benchmark suite
 uses to fill ``benchmarks/output/``).
@@ -52,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="decimal places in the table")
     run.add_argument("--skip-slow", action="store_true",
                      help="with 'all': skip the long-running experiments")
+    run.add_argument("--emit-trace", metavar="PATH",
+                     help="write a Chrome trace-event JSON of the run "
+                     "(load in Perfetto / chrome://tracing)")
 
     summary = sub.add_parser(
         "summary", help="print the headline paper-vs-measured lines")
@@ -90,6 +95,26 @@ def build_parser() -> argparse.ArgumentParser:
                        "report both throughputs")
     serve.add_argument("--json", action="store_true",
                        help="emit the stats snapshot as JSON")
+    serve.add_argument("--emit-trace", metavar="PATH",
+                       help="write a Chrome trace-event JSON of the serving "
+                       "run (load in Perfetto / chrome://tracing)")
+
+    obs = sub.add_parser(
+        "obs", help="run a pinned workload and dump the telemetry registry")
+    obs.add_argument("--format", choices=("json", "prometheus"),
+                     default="json", dest="fmt",
+                     help="registry dump format (default: json)")
+    obs.add_argument("--synthetic", type=int, default=40, metavar="N",
+                     help="requests in the serving leg of the pinned "
+                     "workload (0 = kernels only)")
+    obs.add_argument("--seed", type=int, default=0,
+                     help="seed for the serving leg's synthetic trace")
+    obs.add_argument("--arch", choices=sorted(ARCHITECTURES),
+                     default="kepler")
+    obs.add_argument("--output", metavar="PATH",
+                     help="write the dump to a file instead of stdout")
+    obs.add_argument("--emit-trace", metavar="PATH",
+                     help="also write the workload's Chrome trace-event JSON")
 
     claims = sub.add_parser("claims",
                             help="verify every quantitative claim of the paper")
@@ -118,6 +143,8 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro import obs
+
     if args.experiment == "all":
         ids = [e for e in ALL_EXPERIMENTS
                if not (args.skip_slow and e in SLOW_EXPERIMENTS)]
@@ -128,9 +155,14 @@ def _cmd_run(args) -> int:
               % args.experiment, file=sys.stderr)
         return 2
     for exp_id in ids:
-        exp = _build(exp_id, args.arch)
+        with obs.instrument("experiment." + exp_id, category="experiment"):
+            exp = _build(exp_id, args.arch)
         print(format_experiment(exp, precision=args.precision))
         print()
+    if args.emit_trace:
+        obs.write_chrome_trace(args.emit_trace, obs.get_tracer(),
+                               registry=obs.get_registry())
+        print("trace written to %s" % args.emit_trace, file=sys.stderr)
     return 0
 
 
@@ -165,6 +197,7 @@ def _cmd_summary(args) -> int:
 def _cmd_serve(args) -> int:
     import numpy as np
 
+    from repro import obs
     from repro.conv.reference import conv2d_reference
     from repro.serve import (
         ServeEngine, format_stats, load_trace, save_trace, synthetic_trace,
@@ -191,9 +224,14 @@ def _cmd_serve(args) -> int:
 
     arch = ARCHITECTURES[args.arch]
     try:
+        # The CLI engine reports through the process-wide telemetry
+        # surface so `--emit-trace` (and a same-process `repro obs`)
+        # sees the run; each invocation starts from a fresh surface so
+        # repeated in-process `main()` calls do not accumulate.
         engine = ServeEngine(
             arch=arch, deadline_s=args.deadline, max_batch=args.max_batch,
             executor=args.executor,
+            registry=obs.reset_registry(), tracer=obs.reset_tracer(),
         )
     except ReproError as exc:
         print("bad serving configuration: %s" % exc, file=sys.stderr)
@@ -214,8 +252,13 @@ def _cmd_serve(args) -> int:
                       % (request.req_id, response.backend), file=sys.stderr)
                 return 1
 
+    if args.emit_trace:
+        engine.export_trace(args.emit_trace)
+
     snap = engine.stats()
     if args.compare_unbatched:
+        # Private registry: the comparison run must not pollute the
+        # process-wide series the batched engine reported through.
         unbatched = ServeEngine(arch=arch, deadline_s=0.0, max_batch=1,
                                 executor=args.executor)
         unbatched.serve_trace(trace)
@@ -237,6 +280,55 @@ def _cmd_serve(args) -> int:
                   "(batching speedup %.2fx)"
                   % (snap["unbatched_throughput_rps"],
                      snap["batching_speedup"]))
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    """Run a pinned workload and dump the telemetry registry.
+
+    The workload is deterministic: one traced cost prediction for each
+    of the paper's kernels (so the GM-transaction / bank-conflict /
+    cycle counters are exactly the cost model's return values for those
+    kernels), then an optional synthetic serving leg (so the plan-cache
+    and serving series are populated too).
+    """
+    from repro import obs
+    from repro.conv.tensors import ConvProblem
+    from repro.core.general import GeneralCaseKernel
+    from repro.core.special import SpecialCaseKernel
+    from repro.gpu.timing import TimingModel
+    from repro.serve import ServeEngine, synthetic_trace
+
+    arch = ARCHITECTURES[args.arch]
+    registry = obs.reset_registry()
+    tracer = obs.reset_tracer()
+
+    # Pinned kernel leg: default-config predictions on fixed shapes.
+    model = TimingModel(arch)
+    with obs.instrument("obs.pinned-kernels", category="experiment"):
+        SpecialCaseKernel(arch=arch).predict(
+            ConvProblem.square(512, 3, channels=1, filters=8), model)
+        GeneralCaseKernel(arch=arch).predict(
+            ConvProblem.square(64, 3, channels=16, filters=32), model)
+
+    if args.synthetic > 0:
+        engine = ServeEngine(arch=arch, registry=registry, tracer=tracer)
+        engine.serve_trace(synthetic_trace(args.synthetic, seed=args.seed))
+
+    if args.fmt == "prometheus":
+        dump = obs.to_prometheus(registry)
+    else:
+        dump = json.dumps(obs.registry_to_json(registry), indent=1)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(dump)
+            if not dump.endswith("\n"):
+                fh.write("\n")
+    else:
+        print(dump)
+    if args.emit_trace:
+        obs.write_chrome_trace(args.emit_trace, tracer, registry=registry)
+        print("trace written to %s" % args.emit_trace, file=sys.stderr)
     return 0
 
 
@@ -263,6 +355,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_summary(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "claims":
         return _cmd_claims(args)
     return 2

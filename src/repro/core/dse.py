@@ -22,6 +22,8 @@ from repro.core.config import GeneralCaseConfig, SpecialCaseConfig, TABLE1_CONFI
 from repro.errors import ConfigurationError, LaunchConfigError, ResourceError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.gpu.timing import TimingModel
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 
 __all__ = [
     "RankedConfig",
@@ -110,19 +112,35 @@ def enumerate_general_configs(
 # Ranking
 # ----------------------------------------------------------------------
 
-def _rank(kernel_factory, configs, problem, arch) -> List[RankedConfig]:
+def _rank(kernel_factory, configs, problem, arch,
+          case: str = "general") -> List[RankedConfig]:
     model = TimingModel(arch)
+    tracer = get_tracer()
+    candidates = get_registry().counter(
+        "dse_candidates_total",
+        "Design-space candidates evaluated, by kernel case and outcome",
+        labelnames=("case", "outcome"))
     ranked = []
     for cfg in configs:
         kernel = kernel_factory(cfg)
-        try:
-            breakdown = kernel.predict(problem, model)
-        except (ConfigurationError, LaunchConfigError, ResourceError):
-            continue
+        # One wall-clock span per candidate evaluation: the DSE is the
+        # hot planning path, and per-candidate timing is what reveals
+        # where a slow `plan` call actually spent its time.
+        with tracer.span("dse:%s %s" % (case, cfg), category="dse") as span:
+            try:
+                breakdown = kernel.predict(problem, model)
+            except (ConfigurationError, LaunchConfigError, ResourceError) as exc:
+                span["rejected"] = type(exc).__name__
+                candidates.inc(case=case, outcome="rejected")
+                continue
+            gflops = breakdown.gflops(problem.flops)
+            span["gflops"] = gflops
+            span["bound_by"] = breakdown.bound_by
+            candidates.inc(case=case, outcome="ok")
         ranked.append(
             RankedConfig(
                 config=cfg,
-                gflops=breakdown.gflops(problem.flops),
+                gflops=gflops,
                 occupancy=breakdown.occupancy_fraction,
                 bound_by=breakdown.bound_by,
             )
@@ -143,7 +161,7 @@ def explore_special(
     configs = configs if configs is not None else enumerate_special_configs()
     return _rank(
         lambda cfg: SpecialCaseKernel(arch=arch, config=cfg),
-        configs, problem, arch,
+        configs, problem, arch, case="special",
     )
 
 
@@ -163,7 +181,7 @@ def explore_general(
         configs = enumerate_general_configs(kernel_size, n, arch)
     return _rank(
         lambda cfg: GeneralCaseKernel(arch=arch, config=cfg),
-        configs, problem, arch,
+        configs, problem, arch, case="general",
     )
 
 

@@ -32,3 +32,7 @@ class ShapeError(ReproError):
 
 class TraceError(ReproError):
     """A memory-access trace request is malformed."""
+
+
+class ObservabilityError(ReproError):
+    """A telemetry operation (metric, span, exporter) is invalid."""

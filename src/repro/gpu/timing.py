@@ -45,6 +45,7 @@ from repro.errors import TraceError
 from repro.gpu.arch import GPUArchitecture
 from repro.gpu.occupancy import occupancy
 from repro.gpu.trace import KernelCost
+from repro.obs import metrics as _metrics
 
 __all__ = ["TimingBreakdown", "TimingModel"]
 
@@ -127,8 +128,12 @@ class TimingModel:
         sat_warps: float = SAT_WARPS,
         eta_max: float = ETA_MAX,
         compute_efficiency: float = COMPUTE_EFFICIENCY,
+        registry=None,
     ):
         self.arch = arch
+        # None = publish evaluations to the process-wide metrics
+        # registry; pass a private Registry to redirect.
+        self.registry = registry
         self.launch_overhead_s = launch_overhead_s
         self.sync_cycles = sync_cycles
         self.hide_warps = hide_warps
@@ -136,6 +141,22 @@ class TimingModel:
         self.sat_warps = sat_warps
         self.eta_max = eta_max
         self.compute_efficiency = compute_efficiency
+
+    # ------------------------------------------------------------------
+    def _publish(self, kernel: str, components: dict) -> None:
+        """Mirror an evaluation into the metrics registry per component."""
+        reg = self.registry if self.registry is not None \
+            else _metrics.get_registry()
+        seconds = reg.counter(
+            "gpu_modeled_seconds_total",
+            "Modeled execution seconds, by kernel and roofline component",
+            labelnames=("kernel", "component"))
+        for component, value in components.items():
+            seconds.inc(value, kernel=kernel, component=component)
+        reg.counter(
+            "gpu_timing_evaluations_total",
+            "Timing-model evaluations, by kernel",
+            labelnames=("kernel",)).inc(kernel=kernel)
 
     # ------------------------------------------------------------------
     def evaluate(self, cost: KernelCost) -> TimingBreakdown:
@@ -198,6 +219,11 @@ class TimingModel:
         t_launch = self.launch_overhead_s * cost.launches
 
         total = busy + t_sync + t_launch
+        self._publish(cost.name, {
+            "compute": t_compute, "gmem": t_gmem, "l2": t_l2,
+            "smem": t_smem, "cmem": t_cmem, "sync": t_sync,
+            "launch": t_launch, "total": total,
+        })
         return TimingBreakdown(
             name=cost.name,
             t_compute=t_compute,

@@ -27,6 +27,7 @@ from repro.gpu.memory.banks import BankConflictPolicy, SharedMemoryModel
 from repro.gpu.memory.constmem import ConstantMemoryModel
 from repro.gpu.memory.globalmem import GlobalMemoryModel
 from repro.gpu.simt import LaunchConfig
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "SiteStats",
@@ -34,6 +35,7 @@ __all__ = [
     "KernelCost",
     "KernelTracer",
     "cross_block_reuse",
+    "publish_kernel_cost",
 ]
 
 
@@ -197,6 +199,72 @@ class KernelCost:
         return self.ledger.flops
 
 
+def publish_kernel_cost(cost: KernelCost, registry=None) -> None:
+    """Publish a finished kernel cost's ledger to a metrics registry.
+
+    Every number the paper's argument rests on — global-memory
+    transactions, shared-memory serialized cycles over the conflict-free
+    floor (i.e. genuine bank conflicts), constant-memory broadcasts —
+    becomes a labeled counter series keyed by kernel name, plus
+    per-site breakdowns.  ``registry=None`` publishes to the
+    process-wide registry (:func:`repro.obs.metrics.get_registry`).
+    Counter values are exactly the ledger's return values, so the
+    telemetry surface and the cost model can never disagree.
+    """
+    reg = registry if registry is not None else _metrics.get_registry()
+    led = cost.ledger
+    k = cost.name
+    gmem_tx = reg.counter(
+        "gpu_gmem_transactions_total",
+        "Modeled global-memory transactions, by kernel and direction",
+        labelnames=("kernel", "op"))
+    gmem_tx.inc(led.gmem_read_transactions, kernel=k, op="read")
+    gmem_tx.inc(led.gmem_write_transactions, kernel=k, op="write")
+    gmem_bytes = reg.counter(
+        "gpu_gmem_bytes_moved_total",
+        "Modeled DRAM bytes moved, by kernel and direction",
+        labelnames=("kernel", "op"))
+    gmem_bytes.inc(led.gmem_read_bytes_moved, kernel=k, op="read")
+    gmem_bytes.inc(led.gmem_write_bytes_moved, kernel=k, op="write")
+    reg.counter(
+        "gpu_smem_cycles_total",
+        "Modeled shared-memory serialized cycles, by kernel",
+        labelnames=("kernel",)).inc(led.smem_cycles, kernel=k)
+    reg.counter(
+        "gpu_smem_bank_conflict_cycles_total",
+        "Shared-memory cycles beyond the conflict-free floor, by kernel",
+        labelnames=("kernel",)).inc(
+            max(0.0, led.smem_cycles - led.smem_min_cycles), kernel=k)
+    reg.counter(
+        "gpu_cmem_cycles_total",
+        "Modeled constant-memory serialization cycles, by kernel",
+        labelnames=("kernel",)).inc(led.cmem_cycles, kernel=k)
+    reg.counter(
+        "gpu_flops_total", "Modeled floating-point operations, by kernel",
+        labelnames=("kernel",)).inc(led.flops, kernel=k)
+    reg.counter(
+        "gpu_kernel_costs_total", "Kernel costs traced, by kernel",
+        labelnames=("kernel",)).inc(kernel=k)
+    site_exec = reg.counter(
+        "gpu_site_executions_total",
+        "Warp-level requests issued, by kernel and access site",
+        labelnames=("kernel", "site"))
+    site_tx = reg.counter(
+        "gpu_site_transactions_total",
+        "Global-memory segments moved, by kernel and access site",
+        labelnames=("kernel", "site"))
+    site_cycles = reg.counter(
+        "gpu_site_cycles_total",
+        "Serialized smem/cmem cycles, by kernel and access site",
+        labelnames=("kernel", "site"))
+    for site, stats in led.sites.items():
+        site_exec.inc(stats.executions, kernel=k, site=site)
+        if stats.transactions:
+            site_tx.inc(stats.transactions, kernel=k, site=site)
+        if stats.cycles:
+            site_cycles.inc(stats.cycles, kernel=k, site=site)
+
+
 class KernelTracer:
     """Builds a :class:`KernelCost` from per-site warp address patterns.
 
@@ -210,6 +278,7 @@ class KernelTracer:
         self,
         arch: GPUArchitecture,
         bank_policy: BankConflictPolicy = BankConflictPolicy.WORD_MERGE,
+        registry=None,
     ):
         # WORD_MERGE is the hardware's behaviour and the default for
         # end-to-end timing; the paper's stricter serialization model is
@@ -218,6 +287,10 @@ class KernelTracer:
         self.smem = SharedMemoryModel(arch, bank_policy)
         self.gmem = GlobalMemoryModel(arch)
         self.cmem = ConstantMemoryModel(arch)
+        # None = publish the finished cost to the process-wide registry;
+        # pass a private Registry (or ``publish_kernel_cost`` manually)
+        # to redirect.
+        self.registry = registry
         self.ledger = TrafficLedger(gmem_segment_size=arch.gmem_transaction_size)
 
     # --- shared memory ----------------------------------------------------
@@ -325,13 +398,15 @@ class KernelTracer:
         launches: int = 1,
     ) -> KernelCost:
         launch.validate(self.arch)
-        return KernelCost(
+        cost = KernelCost(
             name=name,
             launch=launch,
             ledger=self.ledger,
             software_prefetch=software_prefetch,
             launches=launches,
         )
+        publish_kernel_cost(cost, registry=self.registry)
+        return cost
 
     # ------------------------------------------------------------------
     def _site(self, site: str, kind: str) -> SiteStats:

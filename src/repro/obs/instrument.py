@@ -1,0 +1,104 @@
+"""``instrument()``: one-line wall-clock telemetry for any code path.
+
+Usable both as a decorator and as a context manager::
+
+    @instrument("dse.rank", category="dse")
+    def _rank(...): ...
+
+    with instrument("experiment.fig2", category="experiment"):
+        build()
+
+Each entry records a wall-track span on the tracer and an observation
+in a ``<name>_seconds`` histogram (plus a ``<name>_calls_total``
+counter) on the registry.  By default the process-wide tracer/registry
+are resolved *at call time*, so tests that swap them see the
+instrumentation land in the swapped-in objects.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Optional
+
+from repro.obs.metrics import Registry, get_registry
+from repro.obs.tracing import Tracer, get_tracer
+
+__all__ = ["instrument"]
+
+
+class instrument:
+    """Decorator/context-manager producing a span + duration histogram."""
+
+    def __init__(self, name: str, category: str = "function",
+                 registry: Optional[Registry] = None,
+                 tracer: Optional[Tracer] = None,
+                 args: Optional[dict] = None):
+        self.name = name
+        self.category = category
+        self._registry = registry
+        self._tracer = tracer
+        self.args = dict(args or {})
+        self._span_cm = None
+        self._start = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> Registry:
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def _metric_name(self) -> str:
+        return self.name.replace(".", "_").replace("-", "_")
+
+    def _record(self, seconds: float, error: bool) -> None:
+        base = self._metric_name()
+        registry = self.registry
+        registry.counter(
+            base + "_calls_total",
+            help="Calls instrumented as %r" % self.name,
+            labelnames=("status",),
+        ).inc(status="error" if error else "ok")
+        registry.histogram(
+            base + "_seconds",
+            help="Wall-clock duration of %r" % self.name,
+        ).observe(seconds)
+
+    # ------------------------------------------------------------------
+    # Context-manager protocol
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "instrument":
+        self._span_cm = self.tracer.span(
+            self.name, category=self.category, args=self.args)
+        self._span_args = self._span_cm.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def annotate(self, **kwargs) -> None:
+        """Attach key/value annotations to the open span."""
+        self._span_args.update(kwargs)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        seconds = time.perf_counter() - self._start
+        if exc_type is not None:
+            self._span_args["error"] = exc_type.__name__
+        self._record(seconds, error=exc_type is not None)
+        self._span_cm.__exit__(exc_type, exc, tb)
+        self._span_cm = None
+        return False
+
+    # ------------------------------------------------------------------
+    # Decorator protocol
+    # ------------------------------------------------------------------
+    def __call__(self, func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with instrument(self.name, category=self.category,
+                            registry=self._registry, tracer=self._tracer,
+                            args=self.args):
+                return func(*args, **kwargs)
+
+        return wrapper

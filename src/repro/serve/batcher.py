@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.metrics import Registry
 from repro.serve.request import ConvRequest
 
 __all__ = ["Batch", "DynamicBatcher"]
@@ -53,14 +54,26 @@ class _Group:
 class DynamicBatcher:
     """Shape-keyed request queue with deadline-driven flushing."""
 
-    def __init__(self, deadline_s: float = 1e-3, max_batch: int = 32):
+    def __init__(self, deadline_s: float = 1e-3, max_batch: int = 32,
+                 registry: Optional[Registry] = None):
         if deadline_s < 0:
             raise ReproError("deadline_s must be non-negative")
         if max_batch < 1:
             raise ReproError("max_batch must be at least 1")
         self.deadline_s = deadline_s
         self.max_batch = max_batch
+        self.registry = registry if registry is not None else Registry()
+        self._enqueued = self.registry.counter(
+            "serve_queue_enqueued_total", "Requests admitted to the batcher")
+        self._depth = self.registry.gauge(
+            "serve_queue_depth", "Requests currently buffered in the batcher")
+        self._groups_gauge = self.registry.gauge(
+            "serve_queue_groups", "Distinct shape groups currently open")
         self._groups: "OrderedDict[Tuple, _Group]" = OrderedDict()
+
+    def _publish_depth(self) -> None:
+        self._depth.set(self.pending)
+        self._groups_gauge.set(len(self._groups))
 
     # ------------------------------------------------------------------
     @property
@@ -76,10 +89,13 @@ class DynamicBatcher:
             group = _Group(opened_s=now)
             self._groups[key] = group
         group.requests.append(request)
+        self._enqueued.inc()
         if len(group.requests) >= self.max_batch:
             del self._groups[key]
+            self._publish_depth()
             return Batch(key=key, requests=group.requests,
                          opened_s=group.opened_s, reason="full")
+        self._publish_depth()
         return None
 
     def next_deadline(self) -> Optional[float]:
@@ -98,6 +114,8 @@ class DynamicBatcher:
                 batches.append(Batch(key=key, requests=group.requests,
                                      opened_s=group.opened_s,
                                      reason="deadline"))
+        if batches:
+            self._publish_depth()
         batches.sort(key=lambda b: b.opened_s)
         return batches
 
@@ -109,5 +127,6 @@ class DynamicBatcher:
             for key, group in self._groups.items()
         ]
         self._groups.clear()
+        self._publish_depth()
         batches.sort(key=lambda b: b.opened_s)
         return batches

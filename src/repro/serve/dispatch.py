@@ -15,6 +15,7 @@ backend for that request, which is re-priced accordingly.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +32,8 @@ from repro.core.special import SpecialCaseKernel
 from repro.errors import ReproError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.gpu.timing import TimingBreakdown, TimingModel
+from repro.obs.metrics import Registry
+from repro.obs.tracing import Tracer
 from repro.serve.plan_cache import PlanCache
 from repro.serve.request import ConvRequest, plan_key
 
@@ -76,13 +79,29 @@ class Dispatcher:
         cache: Optional[PlanCache] = None,
         model: Optional[TimingModel] = None,
         backends: Sequence[str] = DEFAULT_BACKENDS,
+        registry: Optional[Registry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         unknown = set(backends) - set(DEFAULT_BACKENDS)
         if unknown:
             raise ReproError("unknown backends %s" % sorted(unknown))
         self.arch = arch
-        self.cache = cache if cache is not None else PlanCache()
+        self.cache = cache if cache is not None else PlanCache(
+            registry=registry)
         self.model = model or TimingModel(arch)
+        self.registry = registry if registry is not None else Registry()
+        self.tracer = tracer
+        self._planned = self.registry.counter(
+            "dispatch_plans_built_total",
+            "Plans built from scratch, by winning backend",
+            labelnames=("backend",))
+        self._executions = self.registry.counter(
+            "dispatch_executions_total",
+            "Batch executions, by planned backend",
+            labelnames=("backend",))
+        self._exec_fallbacks = self.registry.counter(
+            "dispatch_fallbacks_total",
+            "Requests whose kernel execution degraded to naive")
         # The naive backend is the degradation target; it is always on.
         self.backends = tuple(backends)
         if "naive" not in self.backends:
@@ -95,9 +114,21 @@ class Dispatcher:
     # ------------------------------------------------------------------
     def plan(self, problem: ConvProblem) -> KernelPlan:
         """The (cached) serving plan for a problem shape."""
-        return self.cache.get_or_build(
-            plan_key(problem, self.arch), lambda: self.build_plan(problem)
-        )
+        key = plan_key(problem, self.arch)
+        if self.tracer is None:
+            return self.cache.get_or_build(
+                key, lambda: self.build_plan(problem))
+        with self.tracer.span(
+            "plan %dx%dx%d k%d" % (problem.height, problem.width,
+                                   problem.channels, problem.kernel_size),
+            category="plan-cache",
+        ) as args:
+            cached = key in self.cache
+            plan = self.cache.get_or_build(
+                key, lambda: self.build_plan(problem))
+            args["hit"] = cached
+            args["backend"] = plan.backend
+        return plan
 
     def _candidates(self, problem: ConvProblem):
         """Yield (backend name, kernel, winning config) triples."""
@@ -145,6 +176,7 @@ class Dispatcher:
                 breakdown=best.breakdown, source="degraded",
             )
         best.candidates = candidates
+        self._planned.inc(backend=best.backend)
         return best
 
     def fallback_plan(self, problem: ConvProblem) -> KernelPlan:
@@ -199,14 +231,28 @@ class Dispatcher:
         batch is one modeled launch of the planned backend; requests that
         fell back are re-priced as a second, naive launch.
         """
-        outputs, fell = [], []
-        for request in requests:
-            out, fb = self.run_one(plan, request, executor)
-            outputs.append(out)
-            fell.append(fb)
-        n_fallback = sum(fell)
-        n_planned = len(requests) - n_fallback
-        seconds = plan.batch_seconds(n_planned) if n_planned else 0.0
-        if n_fallback:
-            seconds += self.fallback_plan(plan.problem).batch_seconds(n_fallback)
+        if self.tracer is not None:
+            span = self.tracer.span(
+                "execute[%s] n=%d" % (plan.backend, len(requests)),
+                category="dispatch",
+            )
+        else:
+            span = nullcontext({})
+        with span as span_args:
+            outputs, fell = [], []
+            for request in requests:
+                out, fb = self.run_one(plan, request, executor)
+                outputs.append(out)
+                fell.append(fb)
+            n_fallback = sum(fell)
+            n_planned = len(requests) - n_fallback
+            seconds = plan.batch_seconds(n_planned) if n_planned else 0.0
+            if n_fallback:
+                seconds += self.fallback_plan(
+                    plan.problem).batch_seconds(n_fallback)
+            self._executions.inc(backend=plan.backend)
+            if n_fallback:
+                self._exec_fallbacks.inc(n_fallback)
+            span_args["fallbacks"] = n_fallback
+            span_args["modeled_seconds"] = seconds
         return outputs, fell, seconds

@@ -34,6 +34,9 @@ import numpy as np
 from repro.conv.tensors import Padding
 from repro.errors import ReproError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.obs.exporters import write_chrome_trace
+from repro.obs.metrics import Registry
+from repro.obs.tracing import Tracer
 from repro.serve.batcher import Batch, DynamicBatcher
 from repro.serve.dispatch import DEFAULT_BACKENDS, Dispatcher
 from repro.serve.plan_cache import PlanCache
@@ -55,16 +58,28 @@ class ServeEngine:
         executor: str = "reference",
         backends: Sequence[str] = DEFAULT_BACKENDS,
         dispatcher: Optional[Dispatcher] = None,
+        registry: Optional[Registry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if executor not in ("reference", "kernel"):
             raise ReproError("executor must be 'reference' or 'kernel'")
         self.arch = arch
         self.executor = executor
-        self.batcher = DynamicBatcher(deadline_s=deadline_s, max_batch=max_batch)
+        # One registry spans the whole serving stack (stats, batcher,
+        # plan cache, dispatcher).  The default is engine-private so
+        # concurrent engines stay isolated; pass
+        # ``repro.obs.get_registry()`` to publish process-wide.
+        self.registry = registry if registry is not None else Registry()
+        self.tracer = tracer
+        self.batcher = DynamicBatcher(
+            deadline_s=deadline_s, max_batch=max_batch,
+            registry=self.registry)
         self.dispatcher = dispatcher or Dispatcher(
-            arch, cache=PlanCache(cache_capacity), backends=backends
+            arch, cache=PlanCache(cache_capacity, registry=self.registry),
+            backends=backends, registry=self.registry, tracer=tracer,
         )
-        self._stats = ServeStats(clock_hz=arch.clock_hz)
+        self._stats = ServeStats(clock_hz=arch.clock_hz,
+                                 registry=self.registry)
         self._clock = 0.0            # modeled device-timeline position
         self._ids = itertools.count()
         self._batch_ids = itertools.count()
@@ -169,6 +184,23 @@ class ServeEngine:
         self._clock = end
         batch_id = next(self._batch_ids)
         n = len(batch.requests)
+        if self.tracer is not None:
+            # Virtual-clock spans: the batch's whole queue-to-completion
+            # window, and the kernel's device occupancy inside it.
+            self.tracer.add_span(
+                "batch#%d %s n=%d" % (batch_id, plan.backend, n),
+                category="batch", start_s=batch.opened_s,
+                duration_s=end - batch.opened_s,
+                args={"reason": batch.reason, "backend": plan.backend,
+                      "batch_size": n, "fallbacks": sum(fell)},
+            )
+            kernel_name = getattr(plan.kernel, "name", plan.backend)
+            self.tracer.add_span(
+                "%s" % kernel_name, category="kernel",
+                start_s=start, duration_s=seconds,
+                args={"backend": plan.backend, "batch_id": batch_id,
+                      "modeled_seconds": seconds},
+            )
         self._stats.record_batch(
             backend=plan.backend, batch_size=n, seconds=seconds,
             reason=batch.reason, fallbacks=sum(fell),
@@ -197,6 +229,17 @@ class ServeEngine:
 
     def format_stats(self) -> str:
         return format_stats(self.stats())
+
+    def export_trace(self, path: str) -> dict:
+        """Write the engine's span log as Chrome trace-event JSON.
+
+        Requires the engine to have been constructed with a tracer
+        (``tracer=repro.obs.get_tracer()`` or a private one).
+        """
+        if self.tracer is None:
+            raise ReproError(
+                "engine has no tracer; construct with tracer=... to trace")
+        return write_chrome_trace(path, self.tracer, registry=self.registry)
 
 
 class AsyncServeEngine:

@@ -6,6 +6,12 @@ paper's kernels and prices every candidate backend through the traced
 cost + timing models.  Real workloads repeat a handful of layer shapes
 millions of times, so the cache pays that cost once per shape and the
 hit/miss/eviction counters feed the engine's stats surface.
+
+The counters are registry-backed (``plan_cache_hits_total`` /
+``plan_cache_misses_total`` / ``plan_cache_evictions_total`` plus a
+``plan_cache_entries`` gauge): by default each cache owns a private
+:class:`~repro.obs.metrics.Registry`, and the serving engine passes its
+own so one scrape covers the whole stack.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from collections import OrderedDict
 from typing import Callable, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.metrics import Registry
 
 __all__ = ["PlanCache"]
 
@@ -21,14 +28,21 @@ __all__ = ["PlanCache"]
 class PlanCache:
     """Bounded LRU mapping of plan keys to planned backends."""
 
-    def __init__(self, capacity: int = 128):
+    def __init__(self, capacity: int = 128,
+                 registry: Optional[Registry] = None):
         if capacity < 1:
             raise ReproError("plan cache capacity must be at least 1")
         self.capacity = capacity
+        self.registry = registry if registry is not None else Registry()
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._hits = self.registry.counter(
+            "plan_cache_hits_total", "Plan-cache lookups served from cache")
+        self._misses = self.registry.counter(
+            "plan_cache_misses_total", "Plan-cache lookups that missed")
+        self._evictions = self.registry.counter(
+            "plan_cache_evictions_total", "LRU evictions from the plan cache")
+        self._entries_gauge = self.registry.gauge(
+            "plan_cache_entries", "Plans currently cached")
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -38,14 +52,27 @@ class PlanCache:
         # Peek without touching recency or the counters.
         return key in self._entries
 
+    # Counter-backed views keep the pre-registry attribute contract.
+    @property
+    def hits(self) -> int:
+        return int(round(self._hits.total()))
+
+    @property
+    def misses(self) -> int:
+        return int(round(self._misses.total()))
+
+    @property
+    def evictions(self) -> int:
+        return int(round(self._evictions.total()))
+
     def lookup(self, key: Tuple) -> Optional[object]:
         """Return the cached plan (refreshing recency) or None on a miss."""
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            self._misses.inc()
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self._hits.inc()
         return entry
 
     def put(self, key: Tuple, plan: object) -> None:
@@ -55,7 +82,8 @@ class PlanCache:
         self._entries[key] = plan
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            self._evictions.inc()
+        self._entries_gauge.set(len(self._entries))
 
     def get_or_build(self, key: Tuple, build: Callable[[], object]) -> object:
         """The memoization entry point the dispatcher uses."""
@@ -67,6 +95,7 @@ class PlanCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._entries_gauge.set(0)
 
     # ------------------------------------------------------------------
     @property

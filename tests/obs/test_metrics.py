@@ -1,0 +1,195 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    get_registry,
+    reset_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests_total", labelnames=("backend",))
+        c.inc(backend="naive")
+        c.inc(2.5, backend="naive")
+        c.inc(backend="special")
+        assert c.value(backend="naive") == pytest.approx(3.5)
+        assert c.value(backend="special") == 1.0
+        assert c.total() == pytest.approx(4.5)
+
+    def test_unlabeled(self):
+        c = Counter("ticks_total")
+        assert c.value() == 0.0
+        c.inc()
+        assert c.value() == 1.0
+
+    def test_rejects_decrease(self):
+        c = Counter("x_total")
+        with pytest.raises(ObservabilityError):
+            c.inc(-1.0)
+
+    def test_rejects_wrong_labels(self):
+        c = Counter("x_total", labelnames=("a",))
+        with pytest.raises(ObservabilityError):
+            c.inc(b="nope")
+        with pytest.raises(ObservabilityError):
+            c.inc()
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ObservabilityError):
+            Counter("bad name")
+        with pytest.raises(ObservabilityError):
+            Counter("x", labelnames=("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("queue_depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6.0
+
+    def test_gauges_can_go_negative(self):
+        g = Gauge("delta")
+        g.dec(3)
+        assert g.value() == -3.0
+
+
+class TestHistogram:
+    def test_count_sum_mean_max(self):
+        h = Histogram("latency_seconds")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(0.6)
+        assert h.mean() == pytest.approx(0.2)
+        assert h.max() == pytest.approx(0.3)
+
+    def test_percentiles_exact_on_small_series(self):
+        h = Histogram("x")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(95) == pytest.approx(95.05)
+
+    def test_percentile_empty_is_zero(self):
+        assert Histogram("x").percentile(99) == 0.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("x").percentile(101)
+
+    def test_value_counts(self):
+        h = Histogram("batch_size", buckets=(1, 2, 4, 8))
+        for v in (1, 1, 2, 4, 4, 4):
+            h.observe(v)
+        assert h.value_counts() == {1.0: 2, 2.0: 1, 4.0: 3}
+
+    def test_cumulative_buckets_monotone_ending_inf(self):
+        h = Histogram("x", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        buckets = h.cumulative_buckets()
+        bounds = [b for b, _ in buckets]
+        counts = [c for _, c in buckets]
+        assert bounds == [1.0, 10.0, 100.0, math.inf]
+        assert counts == [1, 2, 3, 4]
+        assert counts == sorted(counts)
+
+    def test_deterministic_decimation_bounds_memory(self):
+        h = Histogram("x", max_samples=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count() == 10_000
+        series = h._series[()]
+        assert len(series.samples) <= 64
+        # Quantiles remain close under decimation of a uniform stream.
+        assert h.percentile(50) == pytest.approx(5000, rel=0.15)
+
+    def test_labeled_series_are_independent(self):
+        h = Histogram("x", labelnames=("k",))
+        h.observe(1.0, k="a")
+        h.observe(9.0, k="b")
+        assert h.count(k="a") == 1
+        assert h.mean(k="b") == 9.0
+
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("x", buckets=(1.0, 1.0, 2.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        reg = Registry()
+        a = reg.counter("hits_total", labelnames=("k",))
+        b = reg.counter("hits_total", labelnames=("k",))
+        assert a is b
+
+    def test_type_conflict_rejected(self):
+        reg = Registry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x")
+
+    def test_labelnames_conflict_rejected(self):
+        reg = Registry()
+        reg.counter("x", labelnames=("a",))
+        with pytest.raises(ObservabilityError):
+            reg.counter("x", labelnames=("b",))
+
+    def test_collect_is_json_serializable(self):
+        import json
+
+        reg = Registry()
+        reg.counter("c_total", "help text", labelnames=("k",)).inc(k="v")
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(0.5)
+        doc = json.loads(json.dumps(reg.collect()))
+        assert [m["name"] for m in doc] == ["c_total", "g", "h"]
+        assert doc[0]["type"] == "counter"
+        assert doc[2]["series"][0]["value"]["count"] == 1
+
+    def test_contains_iter_len(self):
+        reg = Registry()
+        reg.counter("a")
+        reg.gauge("b")
+        assert "a" in reg and "c" not in reg
+        assert len(reg) == 2
+        assert reg.names() == ["a", "b"]
+
+
+class TestGlobalRegistry:
+    def test_swap_and_restore(self):
+        original = get_registry()
+        mine = Registry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+            assert previous is original
+        finally:
+            set_registry(original)
+
+    def test_reset_replaces(self):
+        original = get_registry()
+        try:
+            fresh = reset_registry()
+            assert get_registry() is fresh
+            assert fresh is not original
+        finally:
+            set_registry(original)
+
+    def test_set_registry_validates(self):
+        with pytest.raises(ObservabilityError):
+            set_registry("not a registry")

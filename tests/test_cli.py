@@ -103,6 +103,104 @@ class TestServe:
         assert "served 8 requests" in capsys.readouterr().out
 
 
+class TestServeEmitTrace:
+    def test_emit_trace_writes_perfetto_loadable_file(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        path = str(tmp_path / "serve-trace.json")
+        assert main(["serve", "--synthetic", "20",
+                     "--emit-trace", path]) == 0
+        with open(path) as fh:
+            doc = json.load(fh)
+        validate_chrome_trace(doc)
+        cats = {e.get("cat") for e in doc["traceEvents"]
+                if e.get("ph") == "X"}
+        assert {"batch", "dispatch", "plan-cache", "kernel"} <= cats
+
+    def test_run_emit_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        path = str(tmp_path / "run-trace.json")
+        assert main(["run", "fig1", "--emit-trace", path]) == 0
+        with open(path) as fh:
+            doc = json.load(fh)
+        validate_chrome_trace(doc)
+        assert any(e.get("cat") == "experiment" for e in doc["traceEvents"])
+
+
+class TestObs:
+    def test_obs_json_dump(self, capsys):
+        import json
+
+        assert main(["obs", "--synthetic", "0"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        names = {m["name"] for m in doc["metrics"]}
+        assert "gpu_gmem_transactions_total" in names
+        assert "gpu_smem_bank_conflict_cycles_total" in names
+
+    def test_obs_prometheus_exposes_acceptance_counters(self, capsys):
+        from repro.obs import parse_prometheus
+
+        assert main(["obs", "--format", "prometheus",
+                     "--synthetic", "0"]) == 0
+        parsed = parse_prometheus(capsys.readouterr().out)
+        names = {name for name, _ in parsed}
+        assert "gpu_gmem_transactions_total" in names
+        assert "gpu_smem_bank_conflict_cycles_total" in names
+        assert "gpu_modeled_seconds_total" in names
+
+    def test_obs_counters_match_cost_model_on_pinned_workload(self, capsys):
+        """Acceptance: the exposed counters equal the direct ledger values."""
+        from repro.conv.tensors import ConvProblem
+        from repro.core.special import SpecialCaseKernel
+        from repro.gpu.arch import KEPLER_K40M
+        from repro.obs import parse_prometheus
+
+        assert main(["obs", "--format", "prometheus",
+                     "--synthetic", "0"]) == 0
+        parsed = parse_prometheus(capsys.readouterr().out)
+
+        cost = SpecialCaseKernel(arch=KEPLER_K40M).cost(
+            ConvProblem.square(512, 3, channels=1, filters=8))
+        key = ("gpu_gmem_transactions_total",
+               (("kernel", cost.name), ("op", "read")))
+        assert parsed[key] == pytest.approx(cost.ledger.gmem_read_transactions)
+        conflict_key = ("gpu_smem_bank_conflict_cycles_total",
+                        (("kernel", cost.name),))
+        assert parsed[conflict_key] == pytest.approx(
+            max(0.0, cost.ledger.smem_cycles - cost.ledger.smem_min_cycles))
+
+    def test_obs_with_serving_leg_exposes_plan_cache(self, capsys):
+        from repro.obs import parse_prometheus
+
+        assert main(["obs", "--format", "prometheus",
+                     "--synthetic", "25"]) == 0
+        parsed = parse_prometheus(capsys.readouterr().out)
+        names = {name for name, _ in parsed}
+        assert "plan_cache_hits_total" in names
+        assert "plan_cache_misses_total" in names
+        assert "serve_requests_total" in names
+
+    def test_obs_output_and_trace_files(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = str(tmp_path / "metrics.json")
+        trace = str(tmp_path / "trace.json")
+        assert main(["obs", "--synthetic", "10", "--output", out,
+                     "--emit-trace", trace]) == 0
+        with open(out) as fh:
+            assert json.load(fh)["version"] == 1
+        with open(trace) as fh:
+            validate_chrome_trace(json.load(fh))
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
