@@ -6,13 +6,15 @@ figure.  Experiments serialize to CSV and JSON so downstream analysis
 from __future__ import annotations
 
 import csv
+import functools
 import io
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.conv.workloads import WorkloadPoint
 from repro.errors import ReproError
+from repro.parallel import parallel_map
 
 __all__ = ["ComparisonRow", "Experiment", "compare_on_sweep"]
 
@@ -27,7 +29,9 @@ class ComparisonRow:
     def ratio(self, numerator: str, denominator: str) -> float:
         denom = self.values[denominator]
         if denom == 0:
-            raise ReproError("zero denominator in row %r" % self.label)
+            raise ReproError(
+                "zero denominator %r for ratio %r/%r in row %r"
+                % (denominator, numerator, denominator, self.label))
         return self.values[numerator] / denom
 
 
@@ -61,9 +65,14 @@ class Experiment:
 
     # --- serialization -------------------------------------------------
     def to_csv(self) -> str:
-        """CSV with a header row: workload, then one column per method."""
+        """CSV with a header row: workload, then one column per method.
+
+        Line terminator is pinned to ``"\\n"`` — ``csv.writer`` defaults
+        to ``"\\r\\n"`` everywhere, which makes committed CSV artifacts
+        diff noisily across OSes and CI runners.
+        """
         buf = io.StringIO()
-        writer = csv.writer(buf)
+        writer = csv.writer(buf, lineterminator="\n")
         writer.writerow(["workload"] + self.columns)
         for row in self.rows:
             writer.writerow([row.label] + [row.values[c] for c in self.columns])
@@ -98,21 +107,35 @@ class Experiment:
         return exp
 
 
+def _gflops_metric(kernel, problem) -> float:
+    """Default sweep metric (module-level so workers can pickle it)."""
+    return kernel.gflops(problem)
+
+
+def _sweep_row(kernels: Dict[str, object], metric: Callable,
+               point: WorkloadPoint) -> ComparisonRow:
+    """Evaluate every kernel on one sweep point."""
+    values = {
+        name: metric(kernel, point.problem) for name, kernel in kernels.items()
+    }
+    return ComparisonRow(label=point.label, values=values)
+
+
 def compare_on_sweep(
     kernels: Mapping[str, object],
     points: Sequence[WorkloadPoint],
     metric: Optional[Callable] = None,
+    jobs: Optional[Union[int, str]] = None,
 ) -> List[ComparisonRow]:
     """Evaluate every kernel on every sweep point.
 
     ``metric`` defaults to the kernel's modeled GFlop/s (normalized by
-    the nominal operation count, as the paper reports).
+    the nominal operation count, as the paper reports).  ``jobs`` fans
+    the points out over worker processes (``None`` honors the
+    ``REPRO_JOBS`` environment variable); rows come back in sweep order
+    and are identical to the serial result for any degree.  An
+    unpicklable ``metric`` (a lambda, say) quietly stays serial.
     """
-    metric = metric or (lambda kernel, problem: kernel.gflops(problem))
-    rows = []
-    for point in points:
-        values = {
-            name: metric(kernel, point.problem) for name, kernel in kernels.items()
-        }
-        rows.append(ComparisonRow(label=point.label, values=values))
-    return rows
+    metric = metric or _gflops_metric
+    evaluate = functools.partial(_sweep_row, dict(kernels), metric)
+    return parallel_map(evaluate, points, jobs=jobs)

@@ -12,6 +12,8 @@
     python -m repro serve --requests trace.json --deadline 2e-3
     python -m repro serve --synthetic 50 --emit-trace out.json   # Perfetto trace
     python -m repro obs --format prometheus  # telemetry registry dump
+    python -m repro run table1 --jobs 4      # sweep on 4 worker processes
+    REPRO_JOBS=auto python -m repro summary  # parallel on every core
 
 Tables are printed to stdout (the same renderer the benchmark suite
 uses to fill ``benchmarks/output/``).
@@ -36,6 +38,15 @@ __all__ = ["main", "build_parser"]
 SLOW_EXPERIMENTS = ("table1",)
 
 
+def _add_jobs_flag(subparser) -> None:
+    subparser.add_argument(
+        "--jobs", metavar="N", default=None,
+        help="worker processes for sweep evaluation (an integer, or "
+        "'auto' for the CPU count; default: the REPRO_JOBS environment "
+        "variable, else serial). Results are identical for any degree; "
+        "see docs/PARALLEL.md")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -57,11 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--emit-trace", metavar="PATH",
                      help="write a Chrome trace-event JSON of the run "
                      "(load in Perfetto / chrome://tracing)")
+    _add_jobs_flag(run)
 
     summary = sub.add_parser(
         "summary", help="print the headline paper-vs-measured lines")
     summary.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON records")
+    _add_jobs_flag(summary)
 
     serve = sub.add_parser(
         "serve", help="serve a convolution trace through the serving engine")
@@ -98,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--emit-trace", metavar="PATH",
                        help="write a Chrome trace-event JSON of the serving "
                        "run (load in Perfetto / chrome://tracing)")
+    _add_jobs_flag(serve)
 
     obs = sub.add_parser(
         "obs", help="run a pinned workload and dump the telemetry registry")
@@ -115,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the dump to a file instead of stdout")
     obs.add_argument("--emit-trace", metavar="PATH",
                      help="also write the workload's Chrome trace-event JSON")
+    _add_jobs_flag(obs)
 
     claims = sub.add_parser("claims",
                             help="verify every quantitative claim of the paper")
@@ -123,16 +138,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build(exp_id: str, arch_name: str):
+def _resolve_jobs_arg(args) -> Optional[int]:
+    """Validate a --jobs flag up front (argparse-style exit on typos)."""
+    from repro.parallel import resolve_jobs
+
+    if getattr(args, "jobs", None) is None:
+        return None
+    return resolve_jobs(args.jobs)
+
+
+def _build(exp_id: str, arch_name: str, jobs: Optional[int] = None):
     builder = ALL_EXPERIMENTS[exp_id]
     arch = ARCHITECTURES[arch_name]
     try:
         params = inspect.signature(builder).parameters
     except (TypeError, ValueError):
         params = {}
+    kwargs = {}
     if "arch" in params:
-        return builder(arch=arch)
-    return builder()
+        kwargs["arch"] = arch
+    if "jobs" in params:
+        kwargs["jobs"] = jobs
+    return builder(**kwargs)
 
 
 def _cmd_list() -> int:
@@ -154,9 +181,10 @@ def _cmd_run(args) -> int:
         print("unknown experiment %r; try: python -m repro list"
               % args.experiment, file=sys.stderr)
         return 2
+    jobs = _resolve_jobs_arg(args)
     for exp_id in ids:
         with obs.instrument("experiment." + exp_id, category="experiment"):
-            exp = _build(exp_id, args.arch)
+            exp = _build(exp_id, args.arch, jobs=jobs)
         print(format_experiment(exp, precision=args.precision))
         print()
     if args.emit_trace:
@@ -166,24 +194,24 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _summary_entries():
+def _summary_entries(jobs: Optional[int] = None):
     """(experiment, numerator, denominator, paper value) headline tuples."""
     from repro.bench.figures import fig2_gemm, fig7_special, fig8_general
 
     entries = [(fig2_gemm(), "MAGMA", "cuBLAS", "2.4x")]
     for k in (1, 3, 5):
         paper = {1: "6.16x", 3: "6.43x", 5: "2.90x"}[k]
-        entries.append((fig7_special(k), "ours", "cuDNN", paper))
+        entries.append((fig7_special(k, jobs=jobs), "ours", "cuDNN", paper))
     for k in (3, 5, 7):
         paper = {3: "+30.5%", 5: "+45.3%", 7: "+30.8%"}[k]
-        entries.append((fig8_general(k), "ours", "cuDNN", paper))
+        entries.append((fig8_general(k, jobs=jobs), "ours", "cuDNN", paper))
     return entries
 
 
 def _cmd_summary(args) -> int:
     from repro.bench.report import summary_record
 
-    entries = _summary_entries()
+    entries = _summary_entries(jobs=_resolve_jobs_arg(args))
     if args.json:
         print(json.dumps(
             [summary_record(exp, num, den, paper)
@@ -230,7 +258,7 @@ def _cmd_serve(args) -> int:
         # repeated in-process `main()` calls do not accumulate.
         engine = ServeEngine(
             arch=arch, deadline_s=args.deadline, max_batch=args.max_batch,
-            executor=args.executor,
+            executor=args.executor, jobs=_resolve_jobs_arg(args),
             registry=obs.reset_registry(), tracer=obs.reset_tracer(),
         )
     except ReproError as exc:
@@ -312,7 +340,8 @@ def _cmd_obs(args) -> int:
             ConvProblem.square(64, 3, channels=16, filters=32), model)
 
     if args.synthetic > 0:
-        engine = ServeEngine(arch=arch, registry=registry, tracer=tracer)
+        engine = ServeEngine(arch=arch, registry=registry, tracer=tracer,
+                             jobs=_resolve_jobs_arg(args))
         engine.serve_trace(synthetic_trace(args.synthetic, seed=args.seed))
 
     if args.fmt == "prometheus":
@@ -346,19 +375,25 @@ def _cmd_claims(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import ParallelError
+
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "summary":
-        return _cmd_summary(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "obs":
-        return _cmd_obs(args)
-    if args.command == "claims":
-        return _cmd_claims(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "summary":
+            return _cmd_summary(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
+        if args.command == "claims":
+            return _cmd_claims(args)
+    except ParallelError as exc:
+        print("bad --jobs / REPRO_JOBS value: %s" % exc, file=sys.stderr)
+        return 2
     return 2
 
 

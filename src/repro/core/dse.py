@@ -13,9 +13,10 @@ configuration next to the paper's.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.conv.tensors import ConvProblem
 from repro.core.config import GeneralCaseConfig, SpecialCaseConfig, TABLE1_CONFIGS
@@ -24,6 +25,7 @@ from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.gpu.timing import TimingModel
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
+from repro.parallel import parallel_map
 
 __all__ = [
     "RankedConfig",
@@ -112,39 +114,60 @@ def enumerate_general_configs(
 # Ranking
 # ----------------------------------------------------------------------
 
-def _rank(kernel_factory, configs, problem, arch,
-          case: str = "general") -> List[RankedConfig]:
+def _evaluate_candidate(case, arch, problem, cfg) -> Optional[RankedConfig]:
+    """Evaluate one configuration (module-level so workers can pickle it).
+
+    Telemetry goes to the process-local obs surface: the live one when
+    called in-process, a worker's snapshot-bound one under
+    :func:`repro.parallel.parallel_map` fan-out.
+    """
+    from repro.core.general import GeneralCaseKernel
+    from repro.core.special import SpecialCaseKernel
+
+    if case == "special":
+        kernel = SpecialCaseKernel(arch=arch, config=cfg)
+    else:
+        kernel = GeneralCaseKernel(arch=arch, config=cfg)
     model = TimingModel(arch)
     tracer = get_tracer()
     candidates = get_registry().counter(
         "dse_candidates_total",
         "Design-space candidates evaluated, by kernel case and outcome",
         labelnames=("case", "outcome"))
-    ranked = []
-    for cfg in configs:
-        kernel = kernel_factory(cfg)
-        # One wall-clock span per candidate evaluation: the DSE is the
-        # hot planning path, and per-candidate timing is what reveals
-        # where a slow `plan` call actually spent its time.
-        with tracer.span("dse:%s %s" % (case, cfg), category="dse") as span:
-            try:
-                breakdown = kernel.predict(problem, model)
-            except (ConfigurationError, LaunchConfigError, ResourceError) as exc:
-                span["rejected"] = type(exc).__name__
-                candidates.inc(case=case, outcome="rejected")
-                continue
-            gflops = breakdown.gflops(problem.flops)
-            span["gflops"] = gflops
-            span["bound_by"] = breakdown.bound_by
-            candidates.inc(case=case, outcome="ok")
-        ranked.append(
-            RankedConfig(
-                config=cfg,
-                gflops=gflops,
-                occupancy=breakdown.occupancy_fraction,
-                bound_by=breakdown.bound_by,
-            )
-        )
+    # One wall-clock span per candidate evaluation: the DSE is the
+    # hot planning path, and per-candidate timing is what reveals
+    # where a slow `plan` call actually spent its time.
+    with tracer.span("dse:%s %s" % (case, cfg), category="dse") as span:
+        try:
+            breakdown = kernel.predict(problem, model)
+        except (ConfigurationError, LaunchConfigError, ResourceError) as exc:
+            span["rejected"] = type(exc).__name__
+            candidates.inc(case=case, outcome="rejected")
+            return None
+        gflops = breakdown.gflops(problem.flops)
+        span["gflops"] = gflops
+        span["bound_by"] = breakdown.bound_by
+        candidates.inc(case=case, outcome="ok")
+    return RankedConfig(
+        config=cfg,
+        gflops=gflops,
+        occupancy=breakdown.occupancy_fraction,
+        bound_by=breakdown.bound_by,
+    )
+
+
+def _rank(configs, problem, arch, case: str = "general",
+          jobs: Optional[Union[int, str]] = None) -> List[RankedConfig]:
+    """Evaluate candidates (fanned out over ``jobs`` workers) and sort.
+
+    The parallel path evaluates the same candidates in the same item
+    order within contiguous shards and reassembles shard results in
+    input order, so the stable sort below sees exactly the sequence the
+    serial path produces — rankings are bit-identical for any ``jobs``.
+    """
+    evaluate = functools.partial(_evaluate_candidate, case, arch, problem)
+    results = parallel_map(evaluate, configs, jobs=jobs)
+    ranked = [r for r in results if r is not None]
     ranked.sort(key=lambda r: r.gflops, reverse=True)
     return ranked
 
@@ -153,16 +176,12 @@ def explore_special(
     arch: GPUArchitecture = KEPLER_K40M,
     problem: Optional[ConvProblem] = None,
     configs: Optional[Sequence[SpecialCaseConfig]] = None,
+    jobs: Optional[Union[int, str]] = None,
 ) -> List[RankedConfig]:
     """Rank special-case blocks; the paper's answer is W=256, H=8."""
-    from repro.core.special import SpecialCaseKernel
-
     problem = problem or DEFAULT_SPECIAL_PROBLEM
     configs = configs if configs is not None else enumerate_special_configs()
-    return _rank(
-        lambda cfg: SpecialCaseKernel(arch=arch, config=cfg),
-        configs, problem, arch, case="special",
-    )
+    return _rank(configs, problem, arch, case="special", jobs=jobs)
 
 
 def explore_general(
@@ -170,19 +189,16 @@ def explore_general(
     arch: GPUArchitecture = KEPLER_K40M,
     problem: Optional[ConvProblem] = None,
     configs: Optional[Sequence[GeneralCaseConfig]] = None,
+    jobs: Optional[Union[int, str]] = None,
 ) -> List[RankedConfig]:
     """Rank general-case configurations for one filter size (Table 1)."""
     from repro.core.bankwidth import matched_vector
-    from repro.core.general import GeneralCaseKernel
 
     n = matched_vector(arch).n
     problem = problem or default_general_problem(kernel_size)
     if configs is None:
         configs = enumerate_general_configs(kernel_size, n, arch)
-    return _rank(
-        lambda cfg: GeneralCaseKernel(arch=arch, config=cfg),
-        configs, problem, arch, case="general",
-    )
+    return _rank(configs, problem, arch, case="general", jobs=jobs)
 
 
 def _general_palette(kernel_size: int, n: int) -> List[GeneralCaseConfig]:
@@ -207,6 +223,7 @@ def best_config(
     arch: GPUArchitecture = KEPLER_K40M,
     case: Optional[str] = None,
     full: bool = False,
+    jobs: Optional[Union[int, str]] = None,
 ) -> RankedConfig:
     """The winning configuration for one concrete problem.
 
@@ -224,6 +241,10 @@ def best_config(
         For the general case, search the whole Table 1 axis space (the
         slow path ``reproduce_table1`` uses) instead of the shippable
         palette of known-good configurations.
+    jobs:
+        Worker processes for candidate evaluation (``None`` honors
+        ``REPRO_JOBS``, default serial); the ranking is identical for
+        every degree.
 
     Raises
     ------
@@ -236,7 +257,7 @@ def best_config(
         raise ConfigurationError("unknown kernel case %r" % case)
 
     if case == "special":
-        ranked = explore_special(arch, problem=problem)
+        ranked = explore_special(arch, problem=problem, jobs=jobs)
     else:
         from repro.core.bankwidth import matched_vector
 
@@ -244,7 +265,8 @@ def best_config(
         configs = None
         if not full:
             configs = _general_palette(k, matched_vector(arch).n)
-        ranked = explore_general(k, arch, problem=problem, configs=configs)
+        ranked = explore_general(k, arch, problem=problem, configs=configs,
+                                 jobs=jobs)
     if not ranked:
         raise ConfigurationError(
             "no valid %s-case configuration for %r on %s"
@@ -272,15 +294,21 @@ class Table1Row:
 def reproduce_table1(
     arch: GPUArchitecture = KEPLER_K40M,
     kernel_sizes: Sequence[int] = (3, 5, 7),
+    jobs: Optional[Union[int, str]] = None,
 ) -> List[Table1Row]:
-    """Regenerate Table 1 by exploration and compare with the paper's."""
+    """Regenerate Table 1 by exploration and compare with the paper's.
+
+    ``jobs`` fans the per-filter-size candidate evaluation out over
+    worker processes; the produced rows are identical for any degree.
+    """
     from repro.core.general import GeneralCaseKernel
 
     rows = []
     model = TimingModel(arch)
     for k in kernel_sizes:
         problem = default_general_problem(k)
-        best = best_config(problem, arch, case="general", full=True)
+        best = best_config(problem, arch, case="general", full=True,
+                           jobs=jobs)
         paper_cfg = TABLE1_CONFIGS[k]
         paper_kernel = GeneralCaseKernel(arch=arch, config=paper_cfg)
         paper_gflops = paper_kernel.predict(problem, model).gflops(problem.flops)

@@ -36,3 +36,7 @@ class TraceError(ReproError):
 
 class ObservabilityError(ReproError):
     """A telemetry operation (metric, span, exporter) is invalid."""
+
+
+class ParallelError(ReproError):
+    """A parallel-execution request (job count, sharding) is invalid."""

@@ -1,0 +1,238 @@
+"""Serializable telemetry snapshots for cross-process merging.
+
+Worker processes (see :mod:`repro.parallel`) report through their own
+process-local registry and tracer; when a chunk of work finishes, the
+worker captures both as a plain-data snapshot (JSON/pickle-safe dicts
+and lists, no live objects) and ships it back with the results.  The
+parent then merges every snapshot into its live surface, so telemetry
+stays complete under parallelism:
+
+* **counters** merge by summation — the parent's post-merge totals
+  equal what a serial run of the same work would have produced;
+* **gauges** merge by last-write (a point-in-time value has no
+  meaningful cross-process sum);
+* **histograms** merge exactly in their scalar aggregates
+  (``count``/``sum``/``min``/``max``) and approximately in their
+  retained samples: the worker's retained samples are appended and
+  re-decimated, so quantiles stay representative but are not
+  bit-identical to a serial run once decimation has kicked in;
+* **spans** are re-recorded verbatim with an optional time offset that
+  places the worker's epoch-relative timestamps inside the parent's
+  timeline.
+
+The snapshot format is versioned (``"v": 1``) so trace artifacts
+written by one build can be rejected loudly, not misread, by another.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    get_registry,
+)
+from repro.obs.tracing import Span, Tracer, get_tracer
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "registry_snapshot",
+    "merge_registry_snapshot",
+    "tracer_snapshot",
+    "merge_tracer_snapshot",
+    "worker_snapshot",
+    "merge_worker_snapshot",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+def _check_version(snapshot: dict, kind: str) -> None:
+    if not isinstance(snapshot, dict):
+        raise ObservabilityError("%s snapshot must be a dict" % kind)
+    version = snapshot.get("v")
+    if version != SNAPSHOT_VERSION:
+        raise ObservabilityError(
+            "unsupported %s snapshot version %r (expected %d)"
+            % (kind, version, SNAPSHOT_VERSION))
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def registry_snapshot(registry: Optional[Registry] = None) -> dict:
+    """Plain-data dump of every metric, lossless for merging.
+
+    Unlike :meth:`Registry.collect` (the human/exporter surface), this
+    retains histogram samples and decimation strides so the parent can
+    reconstruct mergeable series.
+    """
+    registry = registry if registry is not None else get_registry()
+    metrics = []
+    for metric in registry:
+        entry = {
+            "name": metric.name,
+            "type": metric.type_name,
+            "help": metric.help,
+            "labelnames": list(metric.labelnames),
+            "series": [],
+        }
+        if isinstance(metric, Histogram):
+            entry["buckets"] = list(metric.buckets)
+            entry["max_samples"] = metric.max_samples
+            for labels, data in metric.series():
+                entry["series"].append({
+                    "labels": labels,
+                    "count": data.count,
+                    "sum": data.sum,
+                    "min": data.min if data.count else None,
+                    "max": data.max if data.count else None,
+                    "samples": list(data.samples),
+                    "stride": data._stride,
+                })
+        else:
+            for labels, value in metric.series():
+                entry["series"].append({"labels": labels, "value": value})
+        metrics.append(entry)
+    return {"v": SNAPSHOT_VERSION, "metrics": metrics}
+
+
+def merge_registry_snapshot(
+    snapshot: dict, registry: Optional[Registry] = None
+) -> Registry:
+    """Fold a worker's registry snapshot into a live registry."""
+    _check_version(snapshot, "registry")
+    registry = registry if registry is not None else get_registry()
+    for entry in snapshot.get("metrics", ()):
+        kind = entry["type"]
+        labelnames = tuple(entry.get("labelnames", ()))
+        if kind == "counter":
+            metric = registry.counter(entry["name"], entry.get("help", ""),
+                                      labelnames=labelnames)
+            for series in entry["series"]:
+                if series["value"]:
+                    metric.inc(series["value"], **series["labels"])
+        elif kind == "gauge":
+            metric = registry.gauge(entry["name"], entry.get("help", ""),
+                                    labelnames=labelnames)
+            for series in entry["series"]:
+                metric.set(series["value"], **series["labels"])
+        elif kind == "histogram":
+            metric = registry.histogram(
+                entry["name"], entry.get("help", ""), labelnames=labelnames,
+                buckets=entry.get("buckets") or None,
+                max_samples=entry.get("max_samples", 65536))
+            for series in entry["series"]:
+                if not series["count"]:
+                    continue
+                data = metric._get(series["labels"])
+                data.count += series["count"]
+                data.sum += series["sum"]
+                data.min = min(data.min, series["min"])
+                data.max = max(data.max, series["max"])
+                data.samples.extend(float(v) for v in series["samples"])
+                data._stride = max(data._stride, int(series["stride"]))
+                while len(data.samples) > metric.max_samples:
+                    data.samples = data.samples[::2]
+                    data._stride *= 2
+        else:
+            raise ObservabilityError(
+                "cannot merge metric %r of unknown type %r"
+                % (entry.get("name"), kind))
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+
+def tracer_snapshot(tracer: Optional[Tracer] = None) -> dict:
+    """Plain-data dump of every recorded span."""
+    tracer = tracer if tracer is not None else get_tracer()
+    return {
+        "v": SNAPSHOT_VERSION,
+        "dropped": tracer.dropped,
+        "spans": [
+            {
+                "name": span.name,
+                "category": span.category,
+                "track": span.track,
+                "start_s": span.start_s,
+                "duration_s": span.duration_s,
+                "depth": span.depth,
+                "args": dict(span.args),
+            }
+            for span in tracer.spans
+        ],
+    }
+
+
+def merge_tracer_snapshot(
+    snapshot: dict,
+    tracer: Optional[Tracer] = None,
+    offset_s: float = 0.0,
+    extra_args: Optional[dict] = None,
+) -> Tracer:
+    """Re-record a worker's spans on a live tracer.
+
+    ``offset_s`` shifts the worker's epoch-relative wall timestamps
+    into the parent's timeline (callers typically pass the parent time
+    at which the parallel region started).  Virtual-track spans are
+    modeled timestamps and are never shifted.  ``extra_args`` (e.g.
+    ``{"shard": 3}``) is stamped onto every merged span.
+    """
+    _check_version(snapshot, "tracer")
+    tracer = tracer if tracer is not None else get_tracer()
+    if not math.isfinite(offset_s):
+        raise ObservabilityError("offset_s must be finite")
+    for entry in snapshot.get("spans", ()):
+        args = dict(entry.get("args", {}))
+        if extra_args:
+            args.update(extra_args)
+        shift = offset_s if entry["track"] != "virtual" else 0.0
+        tracer._record(Span(
+            name=entry["name"],
+            category=entry["category"],
+            track=entry["track"],
+            start_s=entry["start_s"] + shift,
+            duration_s=entry["duration_s"],
+            depth=entry.get("depth", 0),
+            args=args,
+        ))
+    tracer.dropped += snapshot.get("dropped", 0)
+    return tracer
+
+
+# ----------------------------------------------------------------------
+# Combined worker snapshot
+# ----------------------------------------------------------------------
+
+def worker_snapshot(
+    registry: Optional[Registry] = None, tracer: Optional[Tracer] = None
+) -> dict:
+    """One shippable blob: the worker's registry and tracer together."""
+    return {
+        "v": SNAPSHOT_VERSION,
+        "registry": registry_snapshot(registry),
+        "tracer": tracer_snapshot(tracer),
+    }
+
+
+def merge_worker_snapshot(
+    snapshot: dict,
+    registry: Optional[Registry] = None,
+    tracer: Optional[Tracer] = None,
+    offset_s: float = 0.0,
+    extra_args: Optional[dict] = None,
+) -> None:
+    """Merge a combined worker snapshot into the live surfaces."""
+    _check_version(snapshot, "worker")
+    merge_registry_snapshot(snapshot["registry"], registry=registry)
+    merge_tracer_snapshot(snapshot["tracer"], tracer=tracer,
+                          offset_s=offset_s, extra_args=extra_args)

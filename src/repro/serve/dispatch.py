@@ -15,9 +15,10 @@ backend for that request, which is re-priced accordingly.
 
 from __future__ import annotations
 
+import functools
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.gpu.timing import TimingBreakdown, TimingModel
 from repro.obs.metrics import Registry
 from repro.obs.tracing import Tracer
+from repro.parallel import parallel_map, resolve_jobs
 from repro.serve.plan_cache import PlanCache
 from repro.serve.request import ConvRequest, plan_key
 
@@ -70,6 +72,28 @@ class KernelPlan:
         return self.launch_s + self.busy_s * batch_size
 
 
+def _serve_request(
+    executor: str, kernel, naive, request: ConvRequest
+) -> Tuple[np.ndarray, bool]:
+    """Serve one request; module-level so batch fan-out can pickle it.
+
+    Returns (output, fell_back).  The kernel path degrades to the naive
+    backend when the planned kernel's functional execution raises.
+    """
+    if executor == "reference":
+        return conv2d_reference(
+            request.image, request.filters, request.problem.padding
+        ), False
+    try:
+        return kernel.run(
+            request.image, request.filters, request.problem.padding
+        ), False
+    except Exception:
+        return naive.run(
+            request.image, request.filters, request.problem.padding
+        ), True
+
+
 class Dispatcher:
     """Route requests to the cheapest predicted backend, with fallback."""
 
@@ -81,11 +105,15 @@ class Dispatcher:
         backends: Sequence[str] = DEFAULT_BACKENDS,
         registry: Optional[Registry] = None,
         tracer: Optional[Tracer] = None,
+        jobs: Optional[Union[int, str]] = None,
     ):
         unknown = set(backends) - set(DEFAULT_BACKENDS)
         if unknown:
             raise ReproError("unknown backends %s" % sorted(unknown))
         self.arch = arch
+        # Worker degree for per-request batch execution; None honors
+        # the REPRO_JOBS environment variable at execute time.
+        self.jobs = jobs
         self.cache = cache if cache is not None else PlanCache(
             registry=registry)
         self.model = model or TimingModel(arch)
@@ -204,33 +232,32 @@ class Dispatcher:
         the planned backend's functional algorithm; if it raises, the
         request degrades to the naive backend.
         """
-        if executor == "reference":
-            return conv2d_reference(
-                request.image, request.filters, request.problem.padding
-            ), False
-        if executor != "kernel":
+        if executor not in ("reference", "kernel"):
             raise ReproError("unknown executor %r" % executor)
-        try:
-            return plan.kernel.run(
-                request.image, request.filters, request.problem.padding
-            ), False
-        except Exception:
-            return self._naive.run(
-                request.image, request.filters, request.problem.padding
-            ), True
+        return _serve_request(executor, plan.kernel, self._naive, request)
 
     def execute(
         self,
         plan: KernelPlan,
         requests: Sequence[ConvRequest],
         executor: str = "reference",
+        jobs: Optional[Union[int, str]] = None,
     ) -> Tuple[List[np.ndarray], List[bool], float]:
         """Serve a same-shape batch under one plan.
 
         Returns (outputs, fallback flags, modeled batch seconds).  The
         batch is one modeled launch of the planned backend; requests that
         fell back are re-priced as a second, naive launch.
+
+        ``jobs`` (falling back to the dispatcher's degree, then the
+        ``REPRO_JOBS`` environment variable) fans the per-request
+        functional execution out over worker processes; outputs, flags,
+        and accounting are identical to the serial path.  Fallback
+        counting stays in this process, so the dispatcher's registry
+        series are complete regardless of degree.
         """
+        if executor not in ("reference", "kernel"):
+            raise ReproError("unknown executor %r" % executor)
         if self.tracer is not None:
             span = self.tracer.span(
                 "execute[%s] n=%d" % (plan.backend, len(requests)),
@@ -239,11 +266,16 @@ class Dispatcher:
         else:
             span = nullcontext({})
         with span as span_args:
-            outputs, fell = [], []
-            for request in requests:
-                out, fb = self.run_one(plan, request, executor)
-                outputs.append(out)
-                fell.append(fb)
+            degree = resolve_jobs(jobs if jobs is not None else self.jobs)
+            if degree <= 1 or len(requests) < 2:
+                pairs = [self.run_one(plan, request, executor)
+                         for request in requests]
+            else:
+                serve = functools.partial(
+                    _serve_request, executor, plan.kernel, self._naive)
+                pairs = parallel_map(serve, requests, jobs=degree)
+            outputs = [out for out, _ in pairs]
+            fell = [fb for _, fb in pairs]
             n_fallback = sum(fell)
             n_planned = len(requests) - n_fallback
             seconds = plan.batch_seconds(n_planned) if n_planned else 0.0

@@ -36,6 +36,18 @@ class TestExperiment:
         with pytest.raises(ReproError):
             row.ratio("a", "b")
 
+    def test_zero_denominator_error_names_the_columns(self):
+        """The message must identify which ratio failed, not just the
+        row — a sweep row holds one value per method."""
+        row = ComparisonRow(label="N=512",
+                            values={"ours": 1.0, "cuDNN": 0.0})
+        with pytest.raises(ReproError) as excinfo:
+            row.ratio("ours", "cuDNN")
+        message = str(excinfo.value)
+        assert "ours" in message
+        assert "cuDNN" in message
+        assert "N=512" in message
+
 
 class TestCompareOnSweep:
     def test_uses_gflops_by_default(self):
@@ -98,6 +110,41 @@ class TestSerialization:
         assert back.columns == exp.columns
         assert back.rows[1].values == exp.rows[1].values
         assert back.paper_expectation == "2x"
+
+    def test_csv_uses_unix_line_terminators(self):
+        """csv.writer defaults to \\r\\n on every platform; the artifact
+        format pins \\n so committed CSVs diff cleanly across OSes."""
+        text = make_experiment().to_csv()
+        assert "\r" not in text
+        assert text.endswith("\n")
+        assert text.count("\n") == 3
+
+    def test_json_roundtrip_preserves_all_metadata(self):
+        """Regression: a serialized experiment must survive
+        to_json -> from_json with every field intact, including the
+        free-text notes and paper_expectation metadata the
+        regression-pinning workflow relies on."""
+        from repro.bench.runner import Experiment
+
+        exp = make_experiment()
+        exp.paper_expectation = "matched pattern doubles SM bandwidth"
+        exp.notes = "K=3 explored: W32 H4 FTB64 WT16 FT4 CSH2"
+        back = Experiment.from_json(exp.to_json())
+        assert back == exp
+        assert back.notes == exp.notes
+        assert back.paper_expectation == exp.paper_expectation
+
+    def test_json_roundtrip_tolerates_missing_optional_metadata(self):
+        import json as jsonlib
+
+        from repro.bench.runner import Experiment
+
+        data = jsonlib.loads(make_experiment().to_json())
+        del data["notes"]
+        del data["paper_expectation"]
+        back = Experiment.from_json(jsonlib.dumps(data))
+        assert back.notes == ""
+        assert back.paper_expectation == ""
 
     def test_markdown_rendering(self):
         from repro.bench.report import format_experiment_markdown

@@ -1,0 +1,128 @@
+"""Tests for serializable telemetry snapshots and cross-process merge."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import Registry
+from repro.obs.snapshot import (
+    SNAPSHOT_VERSION,
+    merge_registry_snapshot,
+    merge_tracer_snapshot,
+    merge_worker_snapshot,
+    registry_snapshot,
+    tracer_snapshot,
+    worker_snapshot,
+)
+from repro.obs.tracing import Tracer
+
+
+def populated_registry():
+    registry = Registry()
+    requests = registry.counter("snap_requests_total", "requests",
+                                labelnames=("backend",))
+    requests.inc(3, backend="special")
+    requests.inc(2.5, backend="general")
+    registry.gauge("snap_queue_depth", "depth").set(7)
+    lat = registry.histogram("snap_latency_seconds", "latency")
+    for v in (0.001, 0.002, 0.004, 0.008):
+        lat.observe(v)
+    return registry
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_is_plain_data(self):
+        snap = registry_snapshot(populated_registry())
+        assert snap["v"] == SNAPSHOT_VERSION
+        json.dumps(snap)          # JSON-safe
+        pickle.dumps(snap)        # pipe-safe
+
+    def test_merge_into_empty_reproduces_counters(self):
+        snap = registry_snapshot(populated_registry())
+        merged = merge_registry_snapshot(snap, registry=Registry())
+        counter = merged.get("snap_requests_total")
+        assert counter.value(backend="special") == 3.0
+        assert counter.value(backend="general") == 2.5
+        assert merged.get("snap_queue_depth").value() == 7.0
+
+    def test_counters_merge_by_summation(self):
+        snap = registry_snapshot(populated_registry())
+        target = populated_registry()
+        merge_registry_snapshot(snap, registry=target)
+        assert target.get("snap_requests_total").total() == 11.0
+
+    def test_histogram_aggregates_merge_exactly(self):
+        snap = registry_snapshot(populated_registry())
+        target = populated_registry()
+        merge_registry_snapshot(snap, registry=target)
+        hist = target.get("snap_latency_seconds")
+        assert hist.count() == 8
+        assert hist.sum() == pytest.approx(2 * 0.015)
+        series = hist.collect()["series"][0]["value"]
+        assert series["min"] == 0.001
+        assert series["max"] == 0.008
+
+    def test_empty_series_merge_is_noop(self):
+        registry = Registry()
+        registry.counter("snap_zero_total", "z")
+        registry.histogram("snap_empty_seconds", "e")
+        merged = merge_registry_snapshot(
+            registry_snapshot(registry), registry=Registry())
+        assert merged.get("snap_zero_total").total() == 0.0
+        assert merged.get("snap_empty_seconds").count() == 0
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ObservabilityError):
+            merge_registry_snapshot({"v": 99, "metrics": []},
+                                    registry=Registry())
+        with pytest.raises(ObservabilityError):
+            merge_registry_snapshot({"metrics": []}, registry=Registry())
+
+
+class TestTracerSnapshot:
+    def make_tracer(self):
+        tracer = Tracer()
+        with tracer.span("outer", category="test") as args:
+            args["k"] = "v"
+        tracer.add_span("device", "kernel", start_s=1.5, duration_s=0.25)
+        return tracer
+
+    def test_round_trip_preserves_spans(self):
+        snap = tracer_snapshot(self.make_tracer())
+        json.dumps(snap)
+        merged = merge_tracer_snapshot(snap, tracer=Tracer())
+        assert len(merged) == 2
+        names = [s.name for s in merged.spans]
+        assert names == ["outer", "device"]
+        assert merged.spans[0].args["k"] == "v"
+
+    def test_offset_shifts_wall_but_not_virtual(self):
+        snap = tracer_snapshot(self.make_tracer())
+        merged = merge_tracer_snapshot(snap, tracer=Tracer(), offset_s=10.0)
+        wall = next(s for s in merged.spans if s.track == "wall")
+        virtual = next(s for s in merged.spans if s.track == "virtual")
+        assert wall.start_s >= 10.0
+        assert virtual.start_s == 1.5
+
+    def test_extra_args_stamped_on_every_span(self):
+        snap = tracer_snapshot(self.make_tracer())
+        merged = merge_tracer_snapshot(snap, tracer=Tracer(),
+                                       extra_args={"shard": 3})
+        assert all(s.args["shard"] == 3 for s in merged.spans)
+
+
+class TestWorkerSnapshot:
+    def test_combined_round_trip(self):
+        registry = populated_registry()
+        tracer = Tracer()
+        with tracer.span("work", category="test"):
+            pass
+        snap = worker_snapshot(registry, tracer)
+        json.dumps(snap)
+        target_registry, target_tracer = Registry(), Tracer()
+        merge_worker_snapshot(snap, registry=target_registry,
+                              tracer=target_tracer)
+        assert target_registry.get("snap_requests_total").total() == 5.5
+        assert len(target_tracer) == 1

@@ -13,11 +13,30 @@ from repro.serve.request import ConvRequest
 SPECIAL = ConvProblem.square(48, 3, channels=1, filters=4)
 GENERAL = ConvProblem.square(32, 3, channels=8, filters=16)
 
+#: Sentinel planted in an image to make FlakyMarkerKernel fail on it.
+POISON = -1.0e30
+
 
 def make_request(problem, req_id=0):
     image, filters = problem.random_instance(seed=req_id)
     return ConvRequest(req_id=req_id, problem=problem, image=image,
                        filters=filters)
+
+
+class FlakyMarkerKernel:
+    """Fails exactly on requests whose image carries the POISON marker.
+
+    Module-level (hence picklable) so the mixed-batch accounting test
+    behaves the same whether ``execute`` runs serially or fans out.
+    """
+
+    name = "flaky"
+
+    def run(self, image, filters, padding=0):
+        # Threshold, not equality: float32 storage rounds the marker.
+        if image.flat[0] < POISON / 2:
+            raise RuntimeError("kernel exploded on marked request")
+        return conv2d_reference(image, filters, padding)
 
 
 class TestPlanning:
@@ -146,8 +165,38 @@ class TestExecution:
             return real(p, request, executor="reference")
 
         monkeypatch.setattr(dispatcher, "run_one", flaky)
-        _, fell, seconds = dispatcher.execute(plan, requests)
+        # jobs=1 pins the serial path: the fan-out path serves requests
+        # in worker processes and cannot see this monkeypatched hook.
+        _, fell, seconds = dispatcher.execute(plan, requests, jobs=1)
         assert fell == [False, False, True, False]
         naive = dispatcher.fallback_plan(GENERAL)
         assert seconds == pytest.approx(
             plan.batch_seconds(3) + naive.batch_seconds(1))
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_mixed_batch_fallback_accounting(self, jobs):
+        """dispatch_fallbacks_total and the naive surcharge must both
+        equal the number of requests that actually fell back."""
+        dispatcher = Dispatcher()
+        plan = dispatcher.plan(GENERAL)
+        requests = [make_request(GENERAL, i) for i in range(5)]
+        for i in (1, 3):
+            requests[i].image.flat[0] = POISON
+        flaky_plan = KernelPlan(
+            problem=GENERAL, backend=plan.backend,
+            kernel=FlakyMarkerKernel(), breakdown=plan.breakdown,
+            config=plan.config,
+        )
+        outputs, fell, seconds = dispatcher.execute(
+            flaky_plan, requests, executor="kernel", jobs=jobs)
+        assert fell == [False, True, False, True, False]
+        # Counter and pricing agree with the per-request flags.
+        fallbacks = dispatcher.registry.get("dispatch_fallbacks_total")
+        assert fallbacks.total() == float(sum(fell)) == 2.0
+        naive = dispatcher.fallback_plan(GENERAL)
+        assert seconds == pytest.approx(
+            plan.batch_seconds(3) + naive.batch_seconds(2))
+        # Fallen-back requests still produce correct outputs.
+        for request, output in zip(requests, outputs):
+            assert np.array_equal(
+                output, conv2d_reference(request.image, request.filters))
