@@ -48,15 +48,17 @@ from repro.gpu.arch import (
     GPUArchitecture,
     KEPLER_K40M,
     MAXWELL_GM204,
+    PASCAL_P100,
 )
 from repro.gpu.timing import TimingModel
+from repro.kernels import BackendRegistry, ConvBackend, default_registry
 from repro.serve.engine import AsyncServeEngine, ServeEngine
 from repro.serve.dispatch import Dispatcher
 from repro.serve.plan_cache import PlanCache
 from repro.serve.trace import synthetic_trace
 from repro.obs import Registry, Tracer, instrument
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ConvProblem",
@@ -78,8 +80,12 @@ __all__ = [
     "KEPLER_K40M",
     "FERMI_M2090",
     "MAXWELL_GM204",
+    "PASCAL_P100",
     "ARCHITECTURES",
     "TimingModel",
+    "ConvBackend",
+    "BackendRegistry",
+    "default_registry",
     "ServeEngine",
     "AsyncServeEngine",
     "Dispatcher",

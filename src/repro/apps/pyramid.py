@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.conv.tensors import ConvProblem, Padding
-from repro.core.special import SpecialCaseKernel
+from repro.kernels import default_registry
 from repro.errors import ConfigurationError, ShapeError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.gpu.memory.banks import BankConflictPolicy
@@ -50,8 +50,8 @@ class GaussianPyramid:
             raise ConfigurationError("levels must be positive")
         self.levels = levels
         self.arch = arch
-        self.kernel = SpecialCaseKernel(
-            arch=arch, matched=matched, bank_policy=bank_policy)
+        self.kernel = default_registry().get("special").build(
+            None, arch, matched=matched, bank_policy=bank_policy)
         self.name = "pyramid%d[%s]" % (levels, arch.name)
 
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.conv.tensors import ConvProblem, Padding
-from repro.core.special import SpecialCaseKernel
+from repro.kernels import default_registry
 from repro.errors import ConfigurationError, ShapeError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.gpu.memory.banks import BankConflictPolicy
@@ -61,8 +61,8 @@ class JacobiStencil:
             raise ConfigurationError("points must be 5 or 9, got %r" % points)
         self.points = points
         self.arch = arch
-        self.kernel = SpecialCaseKernel(
-            arch=arch, matched=matched, bank_policy=bank_policy)
+        self.kernel = default_registry().get("special").build(
+            None, arch, matched=matched, bank_policy=bank_policy)
         self.name = "jacobi%d[%s,n=%d]" % (points, arch.name, self.kernel.n)
 
     # ------------------------------------------------------------------

@@ -15,18 +15,13 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
-from repro.baselines.direct_naive import NaiveDirectKernel
-from repro.baselines.fft_conv import FFTConvolution
 from repro.baselines.gemm import (
     GemmShape,
     cublas_like_gemm,
     magma_fermi_gemm,
     magma_matched_gemm,
 )
-from repro.baselines.im2col import Im2colKernel
-from repro.baselines.implicit_gemm import ImplicitGemmKernel
-from repro.baselines.winograd import WinogradConvolution
-from repro.bench.runner import Experiment, compare_on_sweep
+from repro.bench.runner import Experiment, compare_on_sweep, registry_kernels
 from repro.conv.tensors import ConvProblem
 from repro.conv.workloads import (
     gemm_sweep_dims,
@@ -41,10 +36,11 @@ from repro.core.bankwidth import (
 )
 from repro.core.general import GeneralCaseKernel
 from repro.core.special import SpecialCaseKernel
-from repro.gpu.arch import KEPLER_K40M, GPUArchitecture
+from repro.gpu.arch import KEPLER_K40M, PASCAL_P100, GPUArchitecture
 from repro.gpu.memory.banks import BankConflictPolicy, SharedMemoryModel
 from repro.gpu.simt import Dim3
 from repro.gpu.timing import TimingModel
+from repro.kernels import default_registry
 
 __all__ = [
     "fig1_bank_patterns",
@@ -60,6 +56,7 @@ __all__ = [
     "extension_short_dtypes",
     "extension_all_methods",
     "extension_fp16_conv",
+    "extension_backend_portfolio",
     "ablation_adaptive_config",
     "extension_stencil",
     "extension_training",
@@ -146,12 +143,14 @@ def fig7_special(kernel_size: int,
                  arch: GPUArchitecture = KEPLER_K40M,
                  jobs: Optional[Union[int, str]] = None) -> Experiment:
     """Special-case convolution performance (paper Fig. 7a/b/c)."""
+    registry = default_registry()
     kernels: Dict[str, object] = {
-        "cuDNN": ImplicitGemmKernel(arch),
-        "ours": SpecialCaseKernel(arch),
+        "cuDNN": registry.get("implicit-gemm").build(None, arch),
+        "ours": registry.get("special").build(None, arch),
     }
     if kernel_size == 3:
-        kernels["unmatched"] = SpecialCaseKernel(arch, matched=False)
+        kernels["unmatched"] = registry.get("special").build(
+            None, arch, matched=False)
     sub = {1: "a", 3: "b", 5: "c"}[kernel_size]
     exp = Experiment(
         exp_id="fig7%s" % sub,
@@ -177,9 +176,10 @@ def fig8_general(kernel_size: int,
                  arch: GPUArchitecture = KEPLER_K40M,
                  jobs: Optional[Union[int, str]] = None) -> Experiment:
     """General-case convolution performance (paper Fig. 8a/b/c)."""
+    registry = default_registry()
     kernels = {
-        "cuDNN": ImplicitGemmKernel(arch),
-        "ours": GeneralCaseKernel(arch),
+        "cuDNN": registry.get("implicit-gemm").build(None, arch),
+        "ours": registry.get("general").build(None, arch),
     }
     sub = {3: "a", 5: "b", 7: "c"}[kernel_size]
     exp = Experiment(
@@ -392,14 +392,11 @@ def extension_all_methods(arch: GPUArchitecture = KEPLER_K40M,
                           jobs: Optional[Union[int, str]] = None) -> Experiment:
     """All convolution methods on VGG-like layers (related-work context:
     FFT and Winograd win only in their niches; direct stays general)."""
-    kernels = {
-        "ours": GeneralCaseKernel(arch),
-        "cuDNN-like": ImplicitGemmKernel(arch),
-        "im2col": Im2colKernel(arch),
-        "naive": NaiveDirectKernel(arch),
-        "FFT": FFTConvolution(arch),
-        "Winograd": WinogradConvolution(arch),
-    }
+    display = {"general": "ours", "implicit-gemm": "cuDNN-like",
+               "im2col": "im2col", "naive": "naive", "fft": "FFT",
+               "winograd": "Winograd"}
+    built = registry_kernels(arch=arch, names=tuple(display))
+    kernels = {display[name]: kernel for name, kernel in built.items()}
     exp = Experiment(
         exp_id="ext-all-methods",
         title="Every implemented method on VGG-like 3x3 layers",
@@ -441,6 +438,40 @@ def extension_fp16_conv(arch: GPUArchitecture = KEPLER_K40M) -> Experiment:
     return exp
 
 
+def extension_backend_portfolio() -> Experiment:
+    """The whole registered backend portfolio, Kepler versus Pascal.
+
+    One row per registered backend on a single-channel 3x3 workload
+    (the one shape every built-in backend can serve), priced through the
+    uniform ``ConvBackend.timing`` surface.  A backend whose
+    ``supports`` rejects the problem on an architecture reports 0.0 —
+    the registry's per-arch applicability, as a figure.
+    """
+    registry = default_registry()
+    archs = (KEPLER_K40M, PASCAL_P100)
+    exp = Experiment(
+        exp_id="ext-backend-portfolio",
+        title="Registered backends across architectures (N=512, K=3, C=1, F=32)",
+        unit="GFlop/s",
+        columns=[a.name for a in archs],
+        paper_expectation=(
+            "the paper's kernels lead on Kepler; on Pascal's 4-byte "
+            "banks (Chang & Onishi, 2022) float data is already matched"
+        ),
+    )
+    p = ConvProblem.square(512, 3, channels=1, filters=32)
+    for backend in registry:
+        values = {}
+        for arch in archs:
+            if backend.supports(p, arch):
+                values[arch.name] = backend.timing(
+                    p, arch=arch).gflops(p.flops)
+            else:
+                values[arch.name] = 0.0
+        exp.add(backend.name, values)
+    return exp
+
+
 def ablation_adaptive_config(arch: GPUArchitecture = KEPLER_K40M) -> Experiment:
     """Fixed Table 1 configs vs per-problem selection on small images.
 
@@ -454,9 +485,10 @@ def ablation_adaptive_config(arch: GPUArchitecture = KEPLER_K40M) -> Experiment:
         columns=["fixed", "adaptive", "cuDNN"],
         paper_expectation="adaptive selection removes the 32x32 losses",
     )
-    fixed = GeneralCaseKernel(arch)
-    adaptive = GeneralCaseKernel(arch, auto_config=True)
-    cudnn = ImplicitGemmKernel(arch)
+    registry = default_registry()
+    fixed = registry.get("general").build(None, arch)
+    adaptive = registry.get("general").build(None, arch, auto_config=True)
+    cudnn = registry.get("implicit-gemm").build(None, arch)
     for n, c, f, k in ((32, 128, 128, 3), (32, 256, 256, 7),
                        (64, 128, 128, 5), (128, 128, 128, 3)):
         p = ConvProblem.square(n, k, channels=c, filters=f)
@@ -575,11 +607,14 @@ def extension_fft_batch(arch: GPUArchitecture = KEPLER_K40M) -> Experiment:
             "(Sec. 1); direct convolution is batch-insensitive"
         ),
     )
+    registry = default_registry()
     p = ConvProblem.square(64, 5, channels=128, filters=128)
     for batch in (1, 2, 4, 8, 16, 32, 64):
         exp.add("batch=%d" % batch, {
-            "ours": BatchedKernel(GeneralCaseKernel(arch), batch).gflops(p),
-            "FFT": BatchedKernel(FFTConvolution(arch), batch).gflops(p),
+            "ours": BatchedKernel(
+                registry.get("general").build(None, arch), batch).gflops(p),
+            "FFT": BatchedKernel(
+                registry.get("fft").build(None, arch), batch).gflops(p),
         })
     return exp
 
@@ -633,6 +668,7 @@ ALL_EXPERIMENTS = {
     "ext-short-dtypes": extension_short_dtypes,
     "ext-all-methods": extension_all_methods,
     "ext-dtype-conv": extension_fp16_conv,
+    "ext-backend-portfolio": extension_backend_portfolio,
     "ablation-adaptive-config": ablation_adaptive_config,
     "ext-stencil": extension_stencil,
     "ext-training": extension_training,

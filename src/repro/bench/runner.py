@@ -16,7 +16,8 @@ from repro.conv.workloads import WorkloadPoint
 from repro.errors import ReproError
 from repro.parallel import parallel_map
 
-__all__ = ["ComparisonRow", "Experiment", "compare_on_sweep"]
+__all__ = ["ComparisonRow", "Experiment", "compare_on_sweep",
+           "registry_kernels"]
 
 
 @dataclass
@@ -105,6 +106,36 @@ class Experiment:
         for row in data["rows"]:
             exp.add(row["label"], row["values"])
         return exp
+
+
+def registry_kernels(
+    problem=None,
+    arch=None,
+    names: Optional[Sequence[str]] = None,
+    registry=None,
+) -> Dict[str, object]:
+    """Default-configuration kernels from the backend registry, keyed by
+    backend name — the registry-driven way to assemble a
+    :func:`compare_on_sweep` portfolio.
+
+    ``names`` restricts (and orders) the portfolio; the default is every
+    registered backend.  When ``problem`` is given, backends that do not
+    ``supports(problem, arch)`` are silently dropped, so a sweep over a
+    multi-channel workload simply omits the special-case kernel instead
+    of failing.
+    """
+    from repro.gpu.arch import KEPLER_K40M
+    from repro.kernels import default_registry
+
+    registry = registry if registry is not None else default_registry()
+    arch = arch if arch is not None else KEPLER_K40M
+    kernels: Dict[str, object] = {}
+    for name in (registry.names() if names is None else names):
+        backend = registry.get(name)
+        if problem is not None and not backend.supports(problem, arch):
+            continue
+        kernels[name] = backend.build(problem, arch)
+    return kernels
 
 
 def _gflops_metric(kernel, problem) -> float:

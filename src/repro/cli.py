@@ -10,6 +10,9 @@
     python -m repro summary --json           # same, machine-readable
     python -m repro serve --synthetic 200    # dynamic-batching serving engine
     python -m repro serve --requests trace.json --deadline 2e-3
+    python -m repro serve --synthetic 50 --backends fft,winograd,naive
+    python -m repro backends                 # registered kernel backends
+    python -m repro backends --arch pascal --json
     python -m repro serve --synthetic 50 --emit-trace out.json   # Perfetto trace
     python -m repro obs --format prometheus  # telemetry registry dump
     python -m repro run table1 --jobs 4      # sweep on 4 worker processes
@@ -94,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="maximum requests coalesced into one launch")
     serve.add_argument("--arch", choices=sorted(ARCHITECTURES),
                        default="kepler")
+    serve.add_argument("--backends", metavar="NAMES",
+                       help="comma-separated backend subset, any names "
+                       "from 'repro backends' (default: every registered "
+                       "backend; naive is always kept as the fallback)")
     serve.add_argument("--executor", choices=("reference", "kernel"),
                        default="reference",
                        help="functional executor for results (reference = "
@@ -130,6 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--emit-trace", metavar="PATH",
                      help="also write the workload's Chrome trace-event JSON")
     _add_jobs_flag(obs)
+
+    backends = sub.add_parser(
+        "backends",
+        help="list registered kernel backends and per-arch applicability")
+    backends.add_argument("--arch", choices=sorted(ARCHITECTURES),
+                          default=None,
+                          help="restrict the applicability columns to one "
+                          "architecture (default: all presets)")
+    backends.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON records")
 
     claims = sub.add_parser("claims",
                             help="verify every quantitative claim of the paper")
@@ -256,9 +273,15 @@ def _cmd_serve(args) -> int:
         # surface so `--emit-trace` (and a same-process `repro obs`)
         # sees the run; each invocation starts from a fresh surface so
         # repeated in-process `main()` calls do not accumulate.
+        backends = None
+        if args.backends:
+            backends = tuple(
+                name.strip() for name in args.backends.split(",")
+                if name.strip())
         engine = ServeEngine(
             arch=arch, deadline_s=args.deadline, max_batch=args.max_batch,
-            executor=args.executor, jobs=_resolve_jobs_arg(args),
+            executor=args.executor, backends=backends,
+            jobs=_resolve_jobs_arg(args),
             registry=obs.reset_registry(), tracer=obs.reset_tracer(),
         )
     except ReproError as exc:
@@ -322,22 +345,26 @@ def _cmd_obs(args) -> int:
     """
     from repro import obs
     from repro.conv.tensors import ConvProblem
-    from repro.core.general import GeneralCaseKernel
-    from repro.core.special import SpecialCaseKernel
     from repro.gpu.timing import TimingModel
+    from repro.kernels import default_registry
     from repro.serve import ServeEngine, synthetic_trace
 
     arch = ARCHITECTURES[args.arch]
     registry = obs.reset_registry()
     tracer = obs.reset_tracer()
 
-    # Pinned kernel leg: default-config predictions on fixed shapes.
+    # Pinned kernel leg: default-config predictions on fixed shapes,
+    # built through the backend registry (so its lookup counters land in
+    # the dump too).
+    kernels = default_registry()
     model = TimingModel(arch)
     with obs.instrument("obs.pinned-kernels", category="experiment"):
-        SpecialCaseKernel(arch=arch).predict(
-            ConvProblem.square(512, 3, channels=1, filters=8), model)
-        GeneralCaseKernel(arch=arch).predict(
-            ConvProblem.square(64, 3, channels=16, filters=32), model)
+        kernels.get("special").timing(
+            ConvProblem.square(512, 3, channels=1, filters=8),
+            model, arch=arch)
+        kernels.get("general").timing(
+            ConvProblem.square(64, 3, channels=16, filters=32),
+            model, arch=arch)
 
     if args.synthetic > 0:
         engine = ServeEngine(arch=arch, registry=registry, tracer=tracer,
@@ -358,6 +385,71 @@ def _cmd_obs(args) -> int:
     if args.emit_trace:
         obs.write_chrome_trace(args.emit_trace, tracer, registry=registry)
         print("trace written to %s" % args.emit_trace, file=sys.stderr)
+    return 0
+
+
+#: Probe shapes for the `backends` applicability table: one per regime
+#: that separates the built-in capability predicates.
+_BACKEND_PROBES = (
+    ("C=1 3x3", (64, 3, 1, 4)),
+    ("C>1 3x3", (32, 3, 8, 8)),
+    ("C>1 5x5", (32, 5, 8, 8)),
+)
+
+
+def _cmd_backends(args) -> int:
+    from repro.conv.tensors import ConvProblem
+    from repro.kernels import default_registry
+
+    registry = default_registry()
+    arch_names = [args.arch] if args.arch else sorted(ARCHITECTURES)
+    probes = [
+        (label, ConvProblem.square(n, k, channels=c, filters=f))
+        for label, (n, k, c, f) in _BACKEND_PROBES
+    ]
+    records = []
+    for backend in registry:
+        supports = {}
+        for arch_name in arch_names:
+            arch = ARCHITECTURES[arch_name]
+            supports[arch_name] = {
+                label: backend.supports(problem, arch)
+                for label, problem in probes
+            }
+        records.append({
+            "name": backend.name,
+            "fallback": backend.name == registry.fallback,
+            "supports": supports,
+        })
+    if args.json:
+        print(json.dumps(records, indent=2))
+        return 0
+
+    def cell(flags: dict) -> str:
+        if all(flags.values()):
+            return "all"
+        hits = [label for label, ok in flags.items() if ok]
+        return ",".join(hits) if hits else "-"
+
+    width = max(len(r["name"]) for r in records) + 2
+    arch_width = max(
+        [len(a) for a in arch_names]
+        + [len(cell(r["supports"][a])) for r in records for a in arch_names]
+    ) + 2
+    header = "backend".ljust(width + 11)
+    header += "".join(a.ljust(arch_width) for a in arch_names)
+    print(header)
+    print("-" * len(header.rstrip()))
+    for r in records:
+        tag = "(fallback)" if r["fallback"] else ""
+        line = r["name"].ljust(width) + tag.ljust(11)
+        line += "".join(
+            cell(r["supports"][a]).ljust(arch_width) for a in arch_names)
+        print(line.rstrip())
+    print()
+    print("applicability probes: %s"
+          % "; ".join("%s = N%d K%d C%d F%d" % ((label,) + dims)
+                      for label, dims in _BACKEND_PROBES))
     return 0
 
 
@@ -389,6 +481,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "obs":
             return _cmd_obs(args)
+        if args.command == "backends":
+            return _cmd_backends(args)
         if args.command == "claims":
             return _cmd_claims(args)
     except ParallelError as exc:

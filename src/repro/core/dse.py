@@ -256,23 +256,13 @@ def best_config(
     if case not in ("special", "general"):
         raise ConfigurationError("unknown kernel case %r" % case)
 
-    if case == "special":
-        ranked = explore_special(arch, problem=problem, jobs=jobs)
-    else:
-        from repro.core.bankwidth import matched_vector
+    # The per-case search lives with the backend now: the registry's
+    # "special"/"general" entries wrap explore_special/explore_general
+    # behind the ConvBackend DSE hook, and this entry point delegates.
+    from repro.kernels import default_registry
 
-        k = problem.as_valid().kernel_size
-        configs = None
-        if not full:
-            configs = _general_palette(k, matched_vector(arch).n)
-        ranked = explore_general(k, arch, problem=problem, configs=configs,
-                                 jobs=jobs)
-    if not ranked:
-        raise ConfigurationError(
-            "no valid %s-case configuration for %r on %s"
-            % (case, problem, arch.name)
-        )
-    return ranked[0]
+    return default_registry().get(case).tune(problem, arch, full=full,
+                                             jobs=jobs)
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,10 @@ class ShapeError(ReproError):
     """Tensor shapes are inconsistent with the convolution problem."""
 
 
+class BackendError(ReproError):
+    """A kernel-backend registry operation (lookup, registration) is invalid."""
+
+
 class TraceError(ReproError):
     """A memory-access trace request is malformed."""
 

@@ -23,6 +23,7 @@ __all__ = [
     "KEPLER_K40M",
     "FERMI_M2090",
     "MAXWELL_GM204",
+    "PASCAL_P100",
     "ARCHITECTURES",
 ]
 
@@ -212,9 +213,39 @@ MAXWELL_GM204 = GPUArchitecture(
     l2_bandwidth_gbs=700.0,
 )
 
+#: Tesla P100 (GP100, cc 6.0) — the architecture of the Pascal follow-up
+#: work (Chang & Onishi, 2022): 4-byte banks, so float data is already
+#: matched and the bank-width model predicts no matched/unmatched gap.
+PASCAL_P100 = GPUArchitecture(
+    name="Pascal P100",
+    compute_capability=(6, 0),
+    sm_count=56,
+    warp_size=32,
+    clock_ghz=1.328,
+    peak_sp_gflops=9519.0,
+    smem_bank_count=32,
+    smem_bank_width=4,
+    smem_per_sm=64 * 1024,
+    smem_per_block_max=48 * 1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_alloc_unit=256,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    const_memory_size=64 * 1024,
+    const_cache_per_sm=8 * 1024,
+    gmem_transaction_size=128,
+    gmem_bandwidth_gbs=732.0,
+    gmem_achievable_fraction=0.80,
+    l2_size=4096 * 1024,
+    l2_bandwidth_gbs=1400.0,
+)
+
 #: Name -> architecture registry used by the CLI and benchmarks.
 ARCHITECTURES = {
     "kepler": KEPLER_K40M,
     "fermi": FERMI_M2090,
     "maxwell": MAXWELL_GM204,
+    "pascal": PASCAL_P100,
 }

@@ -1,0 +1,60 @@
+"""Unified kernel-backend registry.
+
+``repro.kernels`` gives every convolution method in the repository one
+uniform surface — the :class:`~repro.kernels.protocol.ConvBackend`
+protocol — and one place to find them all — the process-wide
+:func:`default_registry`.  The serving dispatcher, the design-space
+explorer, the bench figure drivers and the CLI all enumerate the same
+registry, so adding a backend is a single ``register()`` call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernels.backends import (
+    FFTBackend,
+    GeneralBackend,
+    Im2colBackend,
+    ImplicitGemmBackend,
+    NaiveBackend,
+    SpecialBackend,
+    WinogradBackend,
+    register_builtin_backends,
+)
+from repro.kernels.protocol import ConvBackend
+from repro.kernels.registry import BackendRegistry
+
+__all__ = [
+    "ConvBackend",
+    "BackendRegistry",
+    "default_registry",
+    "reset_default_registry",
+    "SpecialBackend",
+    "GeneralBackend",
+    "Im2colBackend",
+    "ImplicitGemmBackend",
+    "NaiveBackend",
+    "FFTBackend",
+    "WinogradBackend",
+    "register_builtin_backends",
+]
+
+_default: Optional[BackendRegistry] = None
+
+
+def default_registry() -> BackendRegistry:
+    """The process-wide registry, pre-loaded with the seven built-in
+    backends (``special``, ``general``, ``im2col``, ``implicit-gemm``,
+    ``naive``, ``fft``, ``winograd``)."""
+    global _default
+    if _default is None:
+        _default = register_builtin_backends(BackendRegistry())
+    return _default
+
+
+def reset_default_registry() -> None:
+    """Discard the process-wide registry (tests that register throwaway
+    backends call this to restore the built-in portfolio)."""
+    global _default
+    _default = None

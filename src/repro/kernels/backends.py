@@ -1,0 +1,213 @@
+"""The built-in backend portfolio: every convolution method in the
+repository, wrapped in the :class:`~repro.kernels.protocol.ConvBackend`
+protocol and self-registered.
+
+Adding a backend to the system is one registration::
+
+    from repro.kernels import default_registry
+
+    class MyBackend(ConvBackend):
+        name = "mine"
+        def build(self, problem, arch=KEPLER_K40M, config=None, **kw):
+            return MyKernel(arch, **kw)
+
+    default_registry().register(MyBackend())
+
+after which it is servable (``ServeEngine(backends=("mine", ...))``),
+listed by ``repro backends``, and admitted to registry-driven sweeps —
+no dispatcher, DSE, bench or CLI edits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.direct_naive import NaiveDirectKernel
+from repro.baselines.fft_conv import FFTConvolution
+from repro.baselines.im2col import Im2colKernel
+from repro.baselines.implicit_gemm import ImplicitGemmKernel
+from repro.baselines.winograd import WinogradConvolution
+from repro.conv.tensors import ConvProblem, FLOAT_BYTES
+from repro.core.general import GeneralCaseKernel
+from repro.core.special import SpecialCaseKernel
+from repro.errors import ConfigurationError
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.kernels.protocol import ConvBackend
+from repro.kernels.registry import BackendRegistry
+
+__all__ = [
+    "SpecialBackend",
+    "GeneralBackend",
+    "Im2colBackend",
+    "ImplicitGemmBackend",
+    "NaiveBackend",
+    "FFTBackend",
+    "WinogradBackend",
+    "register_builtin_backends",
+]
+
+
+class _TunedBackend(ConvBackend):
+    """Shared behavior of the two paper kernels: configurations come
+    from the design-space explorer, so feasibility *is* the existence of
+    a valid configuration under the architecture's budgets."""
+
+    #: DSE case label ("special" / "general") — equals the backend name.
+    case: str = ""
+
+    def tune(self, problem: ConvProblem,
+             arch: GPUArchitecture = KEPLER_K40M,
+             full: bool = False, jobs=None):
+        """Rank configurations and return the winning
+        :class:`~repro.core.dse.RankedConfig` (raises
+        :class:`ConfigurationError` when no candidate is valid).
+
+        ``full`` searches the whole Table 1 axis space instead of the
+        shippable palette (general case only); ``jobs`` fans candidate
+        evaluation out over worker processes.
+        """
+        ranked = self._explore(problem, arch, full=full, jobs=jobs)
+        if not ranked:
+            raise ConfigurationError(
+                "no valid %s-case configuration for %r on %s"
+                % (self.case, problem, arch.name)
+            )
+        return ranked[0]
+
+    def _explore(self, problem, arch, full, jobs):
+        raise NotImplementedError
+
+    def configure(self, problem: ConvProblem,
+                  arch: GPUArchitecture = KEPLER_K40M) -> Optional[object]:
+        try:
+            return self.tune(problem, arch).config
+        except ConfigurationError:
+            return None
+
+    def feasible(self, problem: ConvProblem,
+                 arch: GPUArchitecture) -> bool:
+        # The explorer already enforces the smem/register/thread budgets
+        # per candidate, so feasibility is "the search is non-empty".
+        return self.configure(problem, arch) is not None
+
+
+class SpecialBackend(_TunedBackend):
+    """The paper's special-case kernel (Sec. 3): single input channel,
+    filters broadcast from constant memory."""
+
+    name = "special"
+    case = "special"
+
+    def capability(self, problem: ConvProblem,
+                   arch: GPUArchitecture) -> bool:
+        if problem.channels != 1:
+            return False
+        valid = problem.as_valid()
+        cm_bytes = valid.filters * valid.kernel_size ** 2 * FLOAT_BYTES
+        return cm_bytes <= arch.const_memory_size
+
+    def _explore(self, problem, arch, full, jobs):
+        from repro.core.dse import explore_special
+
+        return explore_special(arch, problem=problem, jobs=jobs)
+
+    def build(self, problem, arch=KEPLER_K40M, config=None, **kwargs):
+        if config is not None:
+            kwargs["config"] = config
+        return SpecialCaseKernel(arch=arch, **kwargs)
+
+
+class GeneralBackend(_TunedBackend):
+    """The paper's general-case kernel (Sec. 4): arbitrary channels,
+    register-tiled with contiguous-row output pixels."""
+
+    name = "general"
+    case = "general"
+
+    def _explore(self, problem, arch, full, jobs):
+        from repro.core.bankwidth import matched_vector
+        from repro.core.dse import _general_palette, explore_general
+
+        k = problem.as_valid().kernel_size
+        configs = None
+        if not full:
+            configs = _general_palette(k, matched_vector(arch).n)
+        return explore_general(k, arch, problem=problem, configs=configs,
+                               jobs=jobs)
+
+    def build(self, problem, arch=KEPLER_K40M, config=None, **kwargs):
+        if config is not None:
+            kwargs["config"] = config
+        return GeneralCaseKernel(arch=arch, **kwargs)
+
+
+class Im2colBackend(ConvBackend):
+    """Caffe-style explicit lowering + blocked GEMM."""
+
+    name = "im2col"
+
+    def build(self, problem, arch=KEPLER_K40M, config=None, **kwargs):
+        return Im2colKernel(arch=arch, **kwargs)
+
+
+class ImplicitGemmBackend(ConvBackend):
+    """cuDNN-like implicit GEMM: the paper's comparison kernel."""
+
+    name = "implicit-gemm"
+
+    def build(self, problem, arch=KEPLER_K40M, config=None, **kwargs):
+        return ImplicitGemmKernel(arch=arch, **kwargs)
+
+
+class NaiveBackend(ConvBackend):
+    """One-thread-per-output direct convolution — the degradation
+    target; it supports every valid problem on every architecture."""
+
+    name = "naive"
+
+    def build(self, problem, arch=KEPLER_K40M, config=None, **kwargs):
+        return NaiveDirectKernel(arch=arch, **kwargs)
+
+
+class FFTBackend(ConvBackend):
+    """Frequency-domain convolution (paper Sec. 1, refs [12-14])."""
+
+    name = "fft"
+
+    def build(self, problem, arch=KEPLER_K40M, config=None, **kwargs):
+        return FFTConvolution(arch=arch, **kwargs)
+
+
+class WinogradBackend(ConvBackend):
+    """Winograd F(m x m, 3x3) minimal filtering — 3x3 filters only."""
+
+    name = "winograd"
+
+    def capability(self, problem: ConvProblem,
+                   arch: GPUArchitecture) -> bool:
+        return problem.kernel_size == 3
+
+    def build(self, problem, arch=KEPLER_K40M, config=None, **kwargs):
+        if config is not None:
+            kwargs["tile"] = config
+        return WinogradConvolution(arch=arch, **kwargs)
+
+
+def register_builtin_backends(registry: BackendRegistry) -> BackendRegistry:
+    """Register the seven built-in backends, dispatch-priority first.
+
+    The first five names reproduce the serving layer's historical
+    routing order (ties in predicted time break toward the first); FFT
+    and Winograd join the portfolio after the always-on fallback.
+    """
+    for backend in (
+        SpecialBackend(),
+        GeneralBackend(),
+        Im2colBackend(),
+        ImplicitGemmBackend(),
+        NaiveBackend(),
+        FFTBackend(),
+        WinogradBackend(),
+    ):
+        registry.register(backend)
+    return registry

@@ -1,0 +1,168 @@
+"""The ``ConvBackend`` protocol: one uniform surface per convolution
+method.
+
+The paper's evaluation is a *backend comparison* — its two kernels
+against GEMM-, im2col- and cuDNN-style baselines — and every layer of
+this repository (serving dispatch, design-space exploration, the figure
+drivers, the CLI) ultimately asks the same five questions of a
+convolution method:
+
+* *can you handle this problem on this device?*  (:meth:`ConvBackend.supports`)
+* *how should you be configured for it?*          (:meth:`ConvBackend.configure`)
+* *give me an executable kernel.*                 (:meth:`ConvBackend.build`)
+* *what does it cost?*                            (:meth:`ConvBackend.cost` /
+  :meth:`ConvBackend.timing`)
+* *run it.*                                       (:meth:`ConvBackend.run`)
+
+A backend is a lightweight, stateless *factory* over one of the kernel
+classes (``SpecialCaseKernel``, ``Im2colKernel``, ...): ``build``
+instantiates the kernel for an architecture and an optional tuned
+configuration, and the convenience methods delegate to a fresh build.
+Backends carry no per-problem state, so one instance can serve every
+architecture and every shape concurrently.
+
+``supports`` is a *capability + resource-feasibility* predicate: it must
+be exactly as strong as ``build`` — a backend admitted for a problem
+must construct without raising (the registry parity suite enforces
+this) — and should reject problems whose launch would violate the
+architecture's shared-memory / register / thread budgets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.conv.tensors import ConvProblem, Padding
+from repro.errors import ReproError
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.gpu.timing import TimingBreakdown, TimingModel
+
+__all__ = ["ConvBackend"]
+
+
+class ConvBackend(ABC):
+    """One convolution method, viewed uniformly by every consumer layer.
+
+    Subclasses must set :attr:`name` (the registry key) and implement
+    :meth:`build`; the capability predicate, the DSE hook and the
+    costing conveniences have safe defaults.
+    """
+
+    #: Registry key and dispatch label (``"special"``, ``"im2col"``, ...).
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    # Capability + feasibility
+    # ------------------------------------------------------------------
+    def supports(self, problem: ConvProblem,
+                 arch: GPUArchitecture = KEPLER_K40M) -> bool:
+        """Whether this backend can serve ``problem`` on ``arch``.
+
+        ``supports() is True`` guarantees :meth:`build` succeeds for the
+        same ``(problem, arch)`` pair.  The default chains the cheap
+        structural test (:meth:`capability`) with the resource test
+        (:meth:`feasible`).
+        """
+        try:
+            problem.as_valid()
+        except ReproError:
+            return False
+        return (self.capability(problem, arch)
+                and self.feasible(problem, arch))
+
+    def capability(self, problem: ConvProblem,
+                   arch: GPUArchitecture) -> bool:
+        """Cheap structural predicate (channel counts, filter sizes...).
+
+        Default: every valid problem is structurally acceptable.
+        """
+        return True
+
+    def feasible(self, problem: ConvProblem,
+                 arch: GPUArchitecture) -> bool:
+        """Resource-feasibility on ``arch`` (smem / register / thread
+        budgets).
+
+        The default builds the kernel with its default configuration
+        and, when the kernel exposes a ``launch_config(problem)`` probe,
+        validates the launch against the architecture's per-block
+        limits.  Backends whose configurations come from the DSE
+        override this to ask :meth:`configure` instead.
+        """
+        try:
+            kernel = self.build(problem, arch)
+            probe = getattr(kernel, "launch_config", None)
+            if probe is None:
+                return True
+            launch = probe(problem)
+        except ReproError:
+            return False
+        return (launch.threads_per_block <= arch.max_threads_per_block
+                and launch.smem_per_block <= arch.smem_per_block_max
+                and launch.registers_per_thread
+                <= arch.max_registers_per_thread)
+
+    # ------------------------------------------------------------------
+    # Configuration (the DSE hook)
+    # ------------------------------------------------------------------
+    def configure(self, problem: ConvProblem,
+                  arch: GPUArchitecture = KEPLER_K40M) -> Optional[object]:
+        """The tuned configuration for ``problem`` on ``arch``.
+
+        ``None`` means "no tunable configuration" — either the backend
+        has none (the baselines) or the search found no valid candidate.
+        The paper kernels override this with the design-space explorer.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build(self, problem: Optional[ConvProblem],
+              arch: GPUArchitecture = KEPLER_K40M,
+              config: Optional[object] = None, **kwargs):
+        """Instantiate the kernel for ``arch`` (and ``config`` if given).
+
+        ``problem`` may be ``None``: kernels are problem-independent
+        objects, and the argument exists so configuration-sensitive
+        backends can specialize.  Extra ``kwargs`` pass through to the
+        kernel constructor (``matched=False``, ``bank_policy=...``,
+        ``dtype=...`` — the ablation knobs the bench layer turns).
+        """
+
+    # ------------------------------------------------------------------
+    # Costing + execution conveniences
+    # ------------------------------------------------------------------
+    def cost(self, problem: ConvProblem,
+             arch: GPUArchitecture = KEPLER_K40M,
+             config: Optional[object] = None):
+        """Traced/analytic :class:`~repro.gpu.trace.KernelCost` for
+        ``problem`` under the default (or given) configuration."""
+        return self.build(problem, arch, config).cost(problem)
+
+    def timing(self, problem: ConvProblem,
+               model: Optional[TimingModel] = None,
+               arch: GPUArchitecture = KEPLER_K40M,
+               config: Optional[object] = None) -> TimingBreakdown:
+        """Predicted :class:`~repro.gpu.timing.TimingBreakdown`.
+
+        ``model`` defaults to a fresh :class:`TimingModel` over ``arch``;
+        pass one explicitly when pricing many problems.
+        """
+        kernel = self.build(problem, arch, config)
+        return kernel.predict(problem, model or TimingModel(arch))
+
+    def run(self, image: np.ndarray, filters: np.ndarray,
+            padding: Padding = Padding.VALID,
+            arch: GPUArchitecture = KEPLER_K40M,
+            config: Optional[object] = None) -> np.ndarray:
+        """Build and functionally execute in one call."""
+        return self.build(None, arch, config).run(image, filters, padding)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return "<%s name=%r>" % (type(self).__name__, self.name)

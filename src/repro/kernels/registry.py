@@ -1,0 +1,161 @@
+"""The central kernel-backend registry.
+
+One :class:`BackendRegistry` holds every :class:`~repro.kernels.protocol.ConvBackend`
+under its name and answers the two questions the consumer layers ask:
+
+* :meth:`BackendRegistry.get` — the backend for a name (unknown names
+  raise a :class:`~repro.errors.BackendError` that *lists the registered
+  names*, so a CLI typo is self-explaining);
+* :meth:`BackendRegistry.available` — the ordered candidate portfolio
+  for one ``(problem, arch)`` pair, filtered through each backend's
+  ``supports`` predicate.
+
+The registry enforces the serving layer's degradation invariant: the
+fallback backend (``naive`` by default) is appended to every
+``available`` result even when the caller's subset or the predicate
+would exclude it, so a dispatcher can always degrade somewhere.
+
+Lookups are observable: every ``get`` and every ``available`` admission
+decision increments ``kernel_backend_lookups_total`` /
+``kernel_backend_candidates_total`` on the process-wide metrics surface
+(labeled by backend and outcome), so ``repro obs`` shows which backends
+the stack actually considered.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Sequence
+
+from repro.conv.tensors import ConvProblem
+from repro.errors import BackendError
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.kernels.protocol import ConvBackend
+
+__all__ = ["BackendRegistry"]
+
+
+def _lookup_counter():
+    from repro.obs.metrics import get_registry
+
+    return get_registry().counter(
+        "kernel_backend_lookups_total",
+        "Backend registry lookups, by backend name and outcome",
+        labelnames=("backend", "outcome"))
+
+
+def _candidate_counter():
+    from repro.obs.metrics import get_registry
+
+    return get_registry().counter(
+        "kernel_backend_candidates_total",
+        "Backend admission decisions in available(), by backend and outcome",
+        labelnames=("backend", "outcome"))
+
+
+class BackendRegistry:
+    """Ordered name -> :class:`ConvBackend` registry with admission."""
+
+    def __init__(self, fallback: str = "naive"):
+        #: Name of the degradation target ``available`` always includes.
+        self.fallback = fallback
+        self._backends: "OrderedDict[str, ConvBackend]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, backend: ConvBackend,
+                 replace: bool = False) -> ConvBackend:
+        """Register ``backend`` under its ``name``; returns it.
+
+        Re-registering a name raises unless ``replace=True`` (the escape
+        hatch for swapping in an instrumented or experimental variant).
+        """
+        name = getattr(backend, "name", "")
+        if not name or not isinstance(name, str):
+            raise BackendError(
+                "a backend must carry a non-empty string .name, got %r"
+                % (name,))
+        if name in self._backends and not replace:
+            raise BackendError(
+                "backend %r is already registered; pass replace=True to "
+                "override" % name)
+        self._backends[name] = backend
+        return backend
+
+    def unregister(self, name: str) -> None:
+        """Remove a backend; the fallback cannot be removed."""
+        if name == self.fallback and name in self._backends:
+            raise BackendError(
+                "backend %r is the degradation fallback and cannot be "
+                "unregistered" % name)
+        if name not in self._backends:
+            raise BackendError(self._unknown_message(name))
+        del self._backends[name]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> tuple:
+        """Registered backend names, in registration order."""
+        return tuple(self._backends)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._backends
+
+    def __iter__(self) -> Iterator[ConvBackend]:
+        return iter(self._backends.values())
+
+    def __len__(self) -> int:
+        return len(self._backends)
+
+    def _unknown_message(self, name: str) -> str:
+        return ("unknown backend %r; registered backends: %s"
+                % (name, ", ".join(sorted(self._backends)) or "(none)"))
+
+    def get(self, name: str) -> ConvBackend:
+        """The backend registered under ``name``.
+
+        Raises :class:`BackendError` naming every registered backend
+        when the lookup misses.
+        """
+        backend = self._backends.get(name)
+        _lookup_counter().inc(
+            backend=str(name), outcome="hit" if backend else "unknown")
+        if backend is None:
+            raise BackendError(self._unknown_message(name))
+        return backend
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def available(
+        self,
+        problem: ConvProblem,
+        arch: GPUArchitecture = KEPLER_K40M,
+        names: Optional[Sequence[str]] = None,
+        ensure_fallback: bool = True,
+    ) -> List[ConvBackend]:
+        """The candidate portfolio for ``(problem, arch)``, in order.
+
+        ``names`` restricts (and orders) the considered subset; the
+        default is every registered backend in registration order.  Each
+        candidate passes through its own ``supports`` predicate, and —
+        unless ``ensure_fallback=False`` — the registry's fallback
+        backend is appended even when filtered or absent from ``names``,
+        preserving the "naive always enabled" degradation invariant.
+        """
+        order = self.names() if names is None else tuple(names)
+        counter = _candidate_counter()
+        admitted: List[ConvBackend] = []
+        for name in order:
+            backend = self.get(name)
+            ok = backend.supports(problem, arch)
+            counter.inc(backend=name, outcome="admitted" if ok else "filtered")
+            if ok:
+                admitted.append(backend)
+        if (ensure_fallback and self.fallback in self._backends
+                and all(b.name != self.fallback for b in admitted)):
+            counter.inc(backend=self.fallback, outcome="fallback")
+            admitted.append(self._backends[self.fallback])
+        return admitted

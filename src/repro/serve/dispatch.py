@@ -1,11 +1,16 @@
 """Cost-model-driven backend dispatch.
 
 For each distinct problem shape the dispatcher builds a
-:class:`KernelPlan`: it autotunes the paper's kernels via
-:func:`repro.core.dse.best_config`, prices every enabled backend with
+:class:`KernelPlan`: it asks the kernel-backend registry for the
+admissible portfolio (``registry.available(problem, arch)``), lets each
+backend autotune itself via ``configure``, prices every candidate with
 the traced cost + timing models, and routes to the cheapest.  Plans are
 memoized in the :class:`~repro.serve.plan_cache.PlanCache`, so the
 design-space exploration is paid once per shape.
+
+The dispatcher holds no per-backend knowledge: any backend registered
+with :func:`repro.kernels.default_registry` — including FFT and
+Winograd — is servable by name.
 
 Degradation is graceful at both stages: a backend whose planning or
 prediction raises is skipped (the naive-direct backend always plans), and
@@ -22,17 +27,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.baselines.direct_naive import NaiveDirectKernel
-from repro.baselines.im2col import Im2colKernel
-from repro.baselines.implicit_gemm import ImplicitGemmKernel
 from repro.conv.reference import conv2d_reference
 from repro.conv.tensors import ConvProblem
-from repro.core.dse import best_config
-from repro.core.general import GeneralCaseKernel
-from repro.core.special import SpecialCaseKernel
 from repro.errors import ReproError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.gpu.timing import TimingBreakdown, TimingModel
+from repro.kernels import BackendRegistry, default_registry
 from repro.obs.metrics import Registry
 from repro.obs.tracing import Tracer
 from repro.parallel import parallel_map, resolve_jobs
@@ -41,8 +41,9 @@ from repro.serve.request import ConvRequest, plan_key
 
 __all__ = ["KernelPlan", "Dispatcher", "DEFAULT_BACKENDS"]
 
-#: Backend routing order (ties in predicted time break toward the first).
-DEFAULT_BACKENDS = ("special", "general", "im2col", "implicit-gemm", "naive")
+#: Backend routing order (ties in predicted time break toward the first):
+#: every name in the default kernel-backend registry, registration order.
+DEFAULT_BACKENDS = default_registry().names()
 
 
 @dataclass
@@ -102,14 +103,20 @@ class Dispatcher:
         arch: GPUArchitecture = KEPLER_K40M,
         cache: Optional[PlanCache] = None,
         model: Optional[TimingModel] = None,
-        backends: Sequence[str] = DEFAULT_BACKENDS,
+        backends: Optional[Sequence[str]] = None,
         registry: Optional[Registry] = None,
         tracer: Optional[Tracer] = None,
         jobs: Optional[Union[int, str]] = None,
+        kernels: Optional[BackendRegistry] = None,
     ):
-        unknown = set(backends) - set(DEFAULT_BACKENDS)
+        self.kernels = kernels if kernels is not None else default_registry()
+        if backends is None:
+            backends = self.kernels.names()
+        unknown = set(backends) - set(self.kernels.names())
         if unknown:
-            raise ReproError("unknown backends %s" % sorted(unknown))
+            raise ReproError(
+                "unknown backends %s; registered backends: %s"
+                % (sorted(unknown), ", ".join(sorted(self.kernels.names()))))
         self.arch = arch
         # Worker degree for per-request batch execution; None honors
         # the REPRO_JOBS environment variable at execute time.
@@ -130,11 +137,12 @@ class Dispatcher:
         self._exec_fallbacks = self.registry.counter(
             "dispatch_fallbacks_total",
             "Requests whose kernel execution degraded to naive")
-        # The naive backend is the degradation target; it is always on.
+        # The naive backend is the degradation target; it is always on
+        # (the registry's ``available`` re-appends it when filtered out).
         self.backends = tuple(backends)
-        if "naive" not in self.backends:
-            self.backends += ("naive",)
-        self._naive = NaiveDirectKernel(arch)
+        if self.kernels.fallback not in self.backends:
+            self.backends += (self.kernels.fallback,)
+        self._naive = self.kernels.get(self.kernels.fallback).build(None, arch)
         self._fallback_plans: Dict[ConvProblem, KernelPlan] = {}
 
     # ------------------------------------------------------------------
@@ -159,27 +167,24 @@ class Dispatcher:
         return plan
 
     def _candidates(self, problem: ConvProblem):
-        """Yield (backend name, kernel, winning config) triples."""
-        for name in self.backends:
+        """Yield (backend name, kernel, winning config) triples.
+
+        The portfolio comes from the kernel-backend registry: each
+        enabled backend passes its own ``supports`` predicate, tunes
+        itself through ``configure``, and builds its kernel — no
+        per-backend branches live here.
+        """
+        for backend in self.kernels.available(
+                problem, self.arch, names=self.backends):
+            if backend.name == self.kernels.fallback:
+                yield backend.name, self._naive, None
+                continue
             try:
-                if name == "special":
-                    if problem.channels != 1:
-                        continue
-                    ranked = best_config(problem, self.arch, case="special")
-                    yield name, SpecialCaseKernel(
-                        arch=self.arch, config=ranked.config), ranked.config
-                elif name == "general":
-                    ranked = best_config(problem, self.arch, case="general")
-                    yield name, GeneralCaseKernel(
-                        arch=self.arch, config=ranked.config), ranked.config
-                elif name == "im2col":
-                    yield name, Im2colKernel(arch=self.arch), None
-                elif name == "implicit-gemm":
-                    yield name, ImplicitGemmKernel(arch=self.arch), None
-                else:
-                    yield name, self._naive, None
+                config = backend.configure(problem, self.arch)
+                kernel = backend.build(problem, self.arch, config)
             except ReproError:
                 continue
+            yield backend.name, kernel, config
 
     def build_plan(self, problem: ConvProblem) -> KernelPlan:
         """Autotune + price every candidate; pick the cheapest predicted."""

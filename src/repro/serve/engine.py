@@ -38,7 +38,7 @@ from repro.obs.exporters import write_chrome_trace
 from repro.obs.metrics import Registry
 from repro.obs.tracing import Tracer
 from repro.serve.batcher import Batch, DynamicBatcher
-from repro.serve.dispatch import DEFAULT_BACKENDS, Dispatcher
+from repro.serve.dispatch import Dispatcher
 from repro.serve.plan_cache import PlanCache
 from repro.serve.request import ConvRequest, ConvResponse, plan_key, request_from_arrays
 from repro.serve.stats import ServeStats, format_stats
@@ -56,7 +56,7 @@ class ServeEngine:
         max_batch: int = 32,
         cache_capacity: int = 128,
         executor: str = "reference",
-        backends: Sequence[str] = DEFAULT_BACKENDS,
+        backends: Optional[Sequence[str]] = None,
         dispatcher: Optional[Dispatcher] = None,
         registry: Optional[Registry] = None,
         tracer: Optional[Tracer] = None,

@@ -10,6 +10,7 @@ from repro.gpu.arch import (
     FERMI_M2090,
     KEPLER_K40M,
     MAXWELL_GM204,
+    PASCAL_P100,
 )
 
 
@@ -26,7 +27,13 @@ class TestPresets:
         assert KEPLER_K40M.peak_sp_gflops == pytest.approx(4290.0)
 
     def test_registry_contains_all_presets(self):
-        assert set(ARCHITECTURES) == {"kepler", "fermi", "maxwell"}
+        assert set(ARCHITECTURES) == {"kepler", "fermi", "maxwell", "pascal"}
+
+    def test_pascal_preset(self):
+        # Chang & Onishi (2022): Pascal has 4-byte banks, cc 6.0.
+        assert PASCAL_P100.smem_bank_width == 4
+        assert PASCAL_P100.compute_capability == (6, 0)
+        assert ARCHITECTURES["pascal"] is PASCAL_P100
 
     def test_max_warps_per_sm(self):
         assert KEPLER_K40M.max_warps_per_sm == 64

@@ -1,0 +1,90 @@
+"""Registry-driven parity suite: every registered backend's ``run``
+matches ``conv2d_reference`` on every shape its ``supports`` admits, and
+``supports`` never admits a backend whose ``build`` then raises."""
+
+import numpy as np
+import pytest
+
+from repro.conv.reference import conv2d_reference
+from repro.conv.tensors import ConvProblem, Padding
+from repro.gpu.arch import KEPLER_K40M, PASCAL_P100
+from repro.kernels import default_registry
+
+#: The sweep covers the regimes the capability predicates separate:
+#: C == 1 and C > 1, odd filter sizes, both padding modes, non-square
+#: images, and shapes that do not divide the default tiles evenly.
+SWEEP = [
+    ConvProblem.square(32, 3, channels=1, filters=4),
+    ConvProblem.square(33, 3, channels=1, filters=3),
+    ConvProblem.square(32, 5, channels=1, filters=4),
+    ConvProblem.square(24, 7, channels=1, filters=2),
+    ConvProblem.square(32, 3, channels=8, filters=8),
+    ConvProblem.square(21, 3, channels=3, filters=5),
+    ConvProblem.square(24, 5, channels=4, filters=8),
+    ConvProblem.square(32, 3, channels=1, filters=4, padding=Padding.SAME),
+    ConvProblem.square(24, 5, channels=4, filters=6, padding=Padding.SAME),
+    ConvProblem(height=20, width=28, channels=2, filters=4, kernel_size=3),
+]
+
+#: Transform-domain methods accumulate float32 rounding; direct-family
+#: methods match tightly.
+LOOSE = {"fft": (1e-3, 1e-3), "winograd": (1e-3, 1e-3)}
+TIGHT = (1e-4, 1e-5)
+
+
+def _sweep_ids():
+    return ["%dx%d_c%d_f%d_k%d_%s" % (p.height, p.width, p.channels,
+                                      p.filters, p.kernel_size,
+                                      p.padding.value)
+            for p in SWEEP]
+
+
+@pytest.fixture(params=SWEEP, ids=_sweep_ids())
+def problem(request):
+    return request.param
+
+
+class TestParity:
+    def test_admitted_backends_match_reference(self, problem, rng):
+        registry = default_registry()
+        image, filters = problem.random_instance(seed=7)
+        reference = conv2d_reference(image, filters, problem.padding)
+        admitted = registry.available(problem, KEPLER_K40M,
+                                      ensure_fallback=False)
+        assert admitted, "no backend admitted %r" % (problem,)
+        for backend in admitted:
+            out = backend.run(image, filters, problem.padding)
+            rtol, atol = LOOSE.get(backend.name, TIGHT)
+            np.testing.assert_allclose(
+                out, reference, rtol=rtol, atol=atol,
+                err_msg="backend %r diverges on %r" % (backend.name, problem))
+
+    def test_naive_admitted_everywhere(self, problem):
+        names = [b.name for b in default_registry().available(
+            problem, KEPLER_K40M)]
+        assert "naive" in names
+
+
+class TestSupportsBuildContract:
+    @pytest.mark.parametrize("arch", [KEPLER_K40M, PASCAL_P100],
+                             ids=["kepler", "pascal"])
+    def test_supports_implies_build_and_cost(self, arch):
+        registry = default_registry()
+        for problem in SWEEP:
+            for backend in registry:
+                if not backend.supports(problem, arch):
+                    continue
+                kernel = backend.build(
+                    problem, arch, backend.configure(problem, arch))
+                # cost() is the cheapest full exercise of the built
+                # kernel's launch/trace path.
+                assert kernel.cost(problem).launch.threads_per_block > 0
+
+    def test_unsupported_problem_not_admitted(self):
+        registry = default_registry()
+        # channels > 1: the special case must never be admitted.
+        p = ConvProblem.square(32, 3, channels=2, filters=4)
+        assert not registry.get("special").supports(p, KEPLER_K40M)
+        # K != 3: Winograd must never be admitted.
+        p = ConvProblem.square(32, 5, channels=1, filters=4)
+        assert not registry.get("winograd").supports(p, KEPLER_K40M)

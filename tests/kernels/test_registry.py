@@ -1,0 +1,175 @@
+"""Tests for the kernel-backend registry (repro.kernels)."""
+
+import pytest
+
+from repro.conv.tensors import ConvProblem
+from repro.errors import BackendError, ReproError
+from repro.gpu.arch import KEPLER_K40M, PASCAL_P100
+from repro.kernels import (
+    BackendRegistry,
+    ConvBackend,
+    NaiveBackend,
+    default_registry,
+    register_builtin_backends,
+)
+
+BUILTIN_NAMES = ("special", "general", "im2col", "implicit-gemm", "naive",
+                 "fft", "winograd")
+
+
+@pytest.fixture
+def registry():
+    return register_builtin_backends(BackendRegistry())
+
+
+class TestDefaultRegistry:
+    def test_builtin_names_in_registration_order(self):
+        assert default_registry().names() == BUILTIN_NAMES
+
+    def test_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_iteration_and_len(self, registry):
+        assert len(registry) == len(BUILTIN_NAMES)
+        assert tuple(b.name for b in registry) == BUILTIN_NAMES
+
+    def test_contains(self, registry):
+        assert "fft" in registry
+        assert "tensor-core" not in registry
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self, registry):
+        with pytest.raises(BackendError):
+            registry.register(NaiveBackend())
+
+    def test_replace_overrides(self, registry):
+        replacement = NaiveBackend()
+        registry.register(replacement, replace=True)
+        assert registry.get("naive") is replacement
+
+    def test_nameless_backend_rejected(self, registry):
+        class Nameless(ConvBackend):
+            def build(self, problem, arch=KEPLER_K40M, config=None, **kw):
+                raise AssertionError("never built")
+
+        with pytest.raises(BackendError):
+            registry.register(Nameless())
+
+    def test_unregister_fallback_rejected(self, registry):
+        with pytest.raises(BackendError):
+            registry.unregister("naive")
+
+    def test_unregister_removes(self, registry):
+        registry.unregister("fft")
+        assert "fft" not in registry
+
+
+class TestLookup:
+    def test_unknown_backend_error_lists_registered_names(self, registry):
+        with pytest.raises(BackendError) as err:
+            registry.get("tensor-core")
+        message = str(err.value)
+        assert "tensor-core" in message
+        for name in BUILTIN_NAMES:
+            assert name in message
+
+    def test_backend_error_is_a_repro_error(self, registry):
+        with pytest.raises(ReproError):
+            registry.get("nope")
+
+
+class TestAvailable:
+    def test_multi_channel_excludes_special(self, registry):
+        p = ConvProblem.square(32, 3, channels=8, filters=8)
+        names = [b.name for b in registry.available(p, KEPLER_K40M)]
+        assert "special" not in names
+        assert "general" in names and "naive" in names
+
+    def test_single_channel_admits_special(self, registry):
+        p = ConvProblem.square(64, 3, channels=1, filters=4)
+        names = [b.name for b in registry.available(p, KEPLER_K40M)]
+        assert names[0] == "special"
+
+    def test_winograd_requires_3x3(self, registry):
+        p = ConvProblem.square(32, 5, channels=4, filters=8)
+        names = [b.name for b in registry.available(p, KEPLER_K40M)]
+        assert "winograd" not in names
+
+    def test_fallback_always_appended(self, registry):
+        # A subset that filters to nothing still yields the fallback.
+        p = ConvProblem.square(32, 3, channels=8, filters=8)
+        backends = registry.available(p, KEPLER_K40M, names=("special",))
+        assert [b.name for b in backends] == ["naive"]
+
+    def test_ensure_fallback_off(self, registry):
+        p = ConvProblem.square(32, 3, channels=8, filters=8)
+        backends = registry.available(p, KEPLER_K40M, names=("special",),
+                                      ensure_fallback=False)
+        assert backends == []
+
+    def test_names_subset_preserves_order(self, registry):
+        p = ConvProblem.square(64, 3, channels=1, filters=4)
+        subset = ("general", "special", "naive")
+        names = [b.name for b in registry.available(p, KEPLER_K40M,
+                                                    names=subset)]
+        assert names == list(subset)
+
+    def test_available_on_pascal(self, registry):
+        # supports() runs against the non-Kepler preset too.
+        p = ConvProblem.square(64, 3, channels=1, filters=4)
+        names = [b.name for b in registry.available(p, PASCAL_P100)]
+        assert "special" in names and "naive" in names
+
+
+class TestObservability:
+    def test_lookups_are_counted(self, registry):
+        from repro.obs.metrics import get_registry, reset_registry
+
+        reset_registry()
+        registry.get("naive")
+        with pytest.raises(BackendError):
+            registry.get("nope")
+        counter = get_registry().counter(
+            "kernel_backend_lookups_total", "", ("backend", "outcome"))
+        assert counter.value(backend="naive", outcome="hit") >= 1
+        assert counter.value(backend="nope", outcome="unknown") >= 1
+        reset_registry()
+
+    def test_admissions_are_counted(self, registry):
+        from repro.obs.metrics import get_registry, reset_registry
+
+        reset_registry()
+        p = ConvProblem.square(32, 3, channels=8, filters=8)
+        registry.available(p, KEPLER_K40M)
+        counter = get_registry().counter(
+            "kernel_backend_candidates_total", "", ("backend", "outcome"))
+        assert counter.value(backend="special", outcome="filtered") >= 1
+        assert counter.value(backend="general", outcome="admitted") >= 1
+        reset_registry()
+
+
+class TestDispatcherIntegration:
+    def test_unknown_backend_message_lists_registered(self):
+        from repro.serve.dispatch import Dispatcher
+
+        with pytest.raises(ReproError) as err:
+            Dispatcher(backends=("special", "tensor-core"))
+        message = str(err.value)
+        assert "tensor-core" in message
+        assert "registered backends" in message
+        assert "im2col" in message
+
+    def test_custom_backend_is_dispatchable(self):
+        from repro.serve.dispatch import Dispatcher
+
+        registry = register_builtin_backends(BackendRegistry())
+
+        class EchoNaive(NaiveBackend):
+            name = "echo-naive"
+
+        registry.register(EchoNaive())
+        dispatcher = Dispatcher(backends=("echo-naive",), kernels=registry)
+        plan = dispatcher.plan(ConvProblem.square(16, 3, channels=2,
+                                                  filters=2))
+        assert plan.backend in ("echo-naive", "naive")

@@ -1,0 +1,28 @@
+"""Guard against version drift between pyproject.toml and the package.
+
+PR 3 healed a 1.1.0/1.2.0 drift by hand; this pins the two declarations
+together so the next bump cannot half-land.  The parse is regex-based
+(not tomllib) so it runs on every supported interpreter.
+"""
+
+import re
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def _pyproject_version() -> str:
+    match = re.search(r'^version = "([^"]+)"', PYPROJECT.read_text(),
+                      flags=re.MULTILINE)
+    assert match, "no version line in pyproject.toml"
+    return match.group(1)
+
+
+def test_package_version_matches_pyproject():
+    assert repro.__version__ == _pyproject_version()
+
+
+def test_version_is_semver_shaped():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
