@@ -11,6 +11,7 @@
     python -m repro serve --synthetic 200    # dynamic-batching serving engine
     python -m repro serve --requests trace.json --deadline 2e-3
     python -m repro serve --synthetic 50 --backends fft,winograd,naive
+    python -m repro serve --synthetic 1000 --replicas 4 --compare-serial
     python -m repro backends                 # registered kernel backends
     python -m repro backends --arch pascal --json
     python -m repro serve --synthetic 50 --emit-trace out.json   # Perfetto trace
@@ -106,6 +107,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="functional executor for results (reference = "
                        "golden bit-exact path; kernel = the planned "
                        "backend's algorithm)")
+    serve.add_argument("--replicas", type=int, default=1, metavar="N",
+                       help="serve through a fleet of N engine replicas with "
+                       "shape-affinity routing (default: 1 = a single "
+                       "engine; see docs/FLEET.md)")
+    serve.add_argument("--queue-depth", type=int, default=64, metavar="D",
+                       help="fleet admission bound: max modeled queue "
+                       "occupancy per replica before spilling/shedding")
+    serve.add_argument("--deadline-budget", type=float, default=None,
+                       metavar="S",
+                       help="give every synthetic request an absolute "
+                       "completion deadline of arrival + S modeled seconds "
+                       "(fleet SLO accounting reports the misses)")
+    serve.add_argument("--priority-mix", metavar="SPEC", default=None,
+                       help="synthetic priority-class mix, e.g. "
+                       "'critical=0.1,standard=0.8,batch=0.1' "
+                       "(default: all standard)")
     serve.add_argument("--save-trace", metavar="PATH",
                        help="also write the served trace to this JSON file")
     serve.add_argument("--verify", action="store_true",
@@ -113,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--compare-unbatched", action="store_true",
                        help="also serve the trace with batching disabled and "
                        "report both throughputs")
+    serve.add_argument("--compare-serial", action="store_true",
+                       help="with --replicas: also serve the trace through "
+                       "one serial engine and check the fleet's responses "
+                       "are bit-identical")
     serve.add_argument("--json", action="store_true",
                        help="emit the stats snapshot as JSON")
     serve.add_argument("--emit-trace", metavar="PATH",
@@ -239,6 +260,28 @@ def _cmd_summary(args) -> int:
     return 0
 
 
+def _parse_priority_mix(spec: str) -> dict:
+    """Parse 'critical=0.1,standard=0.8' into a weight dict."""
+    mix = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition("=")
+        if not _:
+            raise ReproError(
+                "bad --priority-mix entry %r; expected class=weight" % part)
+        try:
+            mix[name.strip()] = float(weight)
+        except ValueError:
+            raise ReproError(
+                "bad --priority-mix weight %r for class %r"
+                % (weight, name.strip()))
+    if not mix:
+        raise ReproError("--priority-mix is empty")
+    return mix
+
+
 def _cmd_serve(args) -> int:
     import numpy as np
 
@@ -260,15 +303,30 @@ def _cmd_serve(args) -> int:
             print("--synthetic needs a positive request count",
                   file=sys.stderr)
             return 2
-        trace = synthetic_trace(
-            args.synthetic, seed=args.seed,
-            rate_hz=args.rate if args.rate > 0 else None,
-        )
+        try:
+            mix = (_parse_priority_mix(args.priority_mix)
+                   if args.priority_mix else None)
+            trace = synthetic_trace(
+                args.synthetic, seed=args.seed,
+                rate_hz=args.rate if args.rate > 0 else None,
+                priority_mix=mix,
+                deadline_budget_s=args.deadline_budget,
+            )
+        except ReproError as exc:
+            print("bad serving configuration: %s" % exc, file=sys.stderr)
+            return 2
     if args.save_trace:
         save_trace(args.save_trace, trace)
 
+    if args.replicas != 1 or args.compare_serial:
+        return _serve_fleet(args, trace)
+
     arch = ARCHITECTURES[args.arch]
     try:
+        from repro.fleet import check_queue_depth, check_replicas
+
+        check_replicas(args.replicas)
+        check_queue_depth(args.queue_depth)
         # The CLI engine reports through the process-wide telemetry
         # surface so `--emit-trace` (and a same-process `repro obs`)
         # sees the run; each invocation starts from a fresh surface so
@@ -332,6 +390,96 @@ def _cmd_serve(args) -> int:
                   % (snap["unbatched_throughput_rps"],
                      snap["batching_speedup"]))
     return 0
+
+
+def _serve_fleet(args, trace) -> int:
+    """The `repro serve --replicas N` path: a routed multi-engine fleet."""
+    import numpy as np
+
+    from repro import obs
+    from repro.conv.reference import conv2d_reference
+    from repro.fleet import (
+        FleetConfig, FleetEngine, check_queue_depth, check_replicas,
+    )
+    from repro.serve import ServeEngine
+
+    arch = ARCHITECTURES[args.arch]
+    try:
+        check_replicas(args.replicas)
+        check_queue_depth(args.queue_depth)
+        backends = None
+        if args.backends:
+            backends = tuple(
+                name.strip() for name in args.backends.split(",")
+                if name.strip())
+        config = FleetConfig(
+            arch=arch, replicas=args.replicas, deadline_s=args.deadline,
+            max_batch=args.max_batch, executor=args.executor,
+            backends=backends, queue_depth=args.queue_depth,
+            jobs=_resolve_jobs_arg(args),
+        )
+        fleet = FleetEngine(config, registry=obs.reset_registry(),
+                            tracer=obs.reset_tracer())
+    except ReproError as exc:
+        print("bad serving configuration: %s" % exc, file=sys.stderr)
+        return 2
+    result = fleet.serve_trace(trace)
+
+    if args.verify:
+        for request, response in zip(trace, result.responses):
+            if response is None:
+                continue
+            reference = conv2d_reference(
+                request.image, request.filters, request.problem.padding)
+            if args.executor == "reference":
+                ok = np.array_equal(response.output, reference)
+            else:
+                ok = np.allclose(response.output, reference,
+                                 rtol=1e-4, atol=1e-5)
+            if not ok:
+                print("request %d (%s backend) does not match the reference"
+                      % (request.req_id, response.backend), file=sys.stderr)
+                return 1
+
+    mismatches = None
+    serial_rps = None
+    if args.compare_serial:
+        # Private engine: the serial leg must not pollute the fleet's
+        # telemetry surface.
+        serial = ServeEngine(
+            arch=arch, deadline_s=args.deadline, max_batch=args.max_batch,
+            executor=args.executor, backends=fleet._planner.backends)
+        serial_responses = {r.req_id: r for r in serial.serve_trace(trace)}
+        mismatches = 0
+        for response in result.responses:
+            if response is None:
+                continue
+            twin = serial_responses[response.req_id]
+            if (response.backend != twin.backend
+                    or not np.array_equal(response.output, twin.output)):
+                mismatches += 1
+        serial_rps = serial.stats()["throughput_rps"]
+
+    if args.emit_trace:
+        fleet.export_trace(args.emit_trace)
+
+    snap = fleet.stats()
+    if args.compare_serial:
+        snap["serial_throughput_rps"] = serial_rps
+        snap["serial_mismatches"] = mismatches
+        snap["fleet_speedup"] = (
+            snap["sustained_rps"] / serial_rps if serial_rps else 0.0)
+    if args.json:
+        print(json.dumps(snap, indent=2))
+        return 0 if not mismatches else 1
+    print(fleet.format_stats())
+    if args.verify:
+        print("verified               : all %d served responses match the "
+              "reference" % result.served)
+    if args.compare_serial:
+        print("serial engine         : %.0f req/modeled-s; "
+              "%d response mismatches vs fleet" % (serial_rps, mismatches))
+    return 0 if not mismatches else 1
 
 
 def _cmd_obs(args) -> int:

@@ -1,0 +1,43 @@
+"""repro.fleet: a multi-engine serving fleet on the virtual clock.
+
+One :class:`FleetEngine` fronts N :class:`~repro.serve.engine.ServeEngine`
+replicas with shape-affinity routing (:class:`FleetRouter`), a shared
+plan-cache tier with versioned invalidation (:class:`SharedPlanCache`),
+bounded-queue admission control with priority classes and load shedding
+(:class:`AdmissionController`), and fleet-wide SLO accounting
+(:class:`FleetStats`).  Replay is deterministic: with no shedding, fleet
+responses are bit-identical to a single engine serially serving the
+same trace, at any ``jobs`` degree.
+"""
+
+from repro.fleet.admission import AdmissionController, ShedRecord
+from repro.fleet.engine import (
+    MAX_QUEUE_DEPTH,
+    MAX_REPLICAS,
+    FleetConfig,
+    FleetEngine,
+    FleetResult,
+    check_queue_depth,
+    check_replicas,
+)
+from repro.fleet.router import FleetRouter, shape_hash
+from repro.fleet.shared_cache import SharedPlanCache, cache_version_token
+from repro.fleet.slo import FleetStats, format_fleet_stats
+
+__all__ = [
+    "AdmissionController",
+    "ShedRecord",
+    "FleetConfig",
+    "FleetEngine",
+    "FleetResult",
+    "FleetRouter",
+    "FleetStats",
+    "SharedPlanCache",
+    "MAX_QUEUE_DEPTH",
+    "MAX_REPLICAS",
+    "cache_version_token",
+    "check_queue_depth",
+    "check_replicas",
+    "format_fleet_stats",
+    "shape_hash",
+]

@@ -1,0 +1,165 @@
+"""Admission control: bounded queues, priority classes, load shedding.
+
+The fleet runs on the same virtual clock as the engines it fronts, so
+"queue depth" has an exact, reproducible meaning: a request admitted at
+virtual time ``t`` occupies its replica's batcher for at most
+``window_s`` seconds (the batching deadline — after that the group has
+flushed to the device).  The controller therefore models each replica's
+occupancy as the count of admitted arrivals inside the sliding window
+``(t - window_s, t]`` and refuses admission past ``queue_depth``.  The
+model is an upper bound (a group that fills ``max_batch`` flushes
+early), which errs on the side of shedding before a replica drowns —
+the conservative direction for an admission controller.
+
+Priority classes (:data:`~repro.serve.request.PRIORITY_CLASSES`) order
+the degradation:
+
+* ``critical`` — always admitted to its affinity replica, even past
+  the bound (backpressure never blocks the real-time lane);
+* ``standard`` — spills to the least-loaded replica when its home is
+  full, shed only when the whole fleet is at the bound;
+* ``batch`` — shed as soon as its home replica is full (it never
+  spills and never displaces cache-hot capacity).
+
+A request whose absolute deadline has *already passed* on arrival is
+shed immediately (reason ``"expired"``) — serving it would burn device
+time producing an answer nobody is waiting for.  Requests shed for
+queue pressure carry reason ``"overload"``.  Every shed increments the
+``fleet_shed_total{reason,priority}`` counter — the shed rate is an SLO
+headline, not a log line.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.obs.metrics import Registry
+from repro.serve.request import PRIORITY_CLASSES, ConvRequest
+
+from repro.fleet.router import FleetRouter
+
+__all__ = ["AdmissionController", "ShedRecord"]
+
+
+@dataclass(frozen=True)
+class ShedRecord:
+    """One request the fleet refused to serve, and why."""
+
+    req_id: int
+    reason: str                  # "expired" | "overload"
+    priority: str
+    arrival_s: float
+
+
+class AdmissionController:
+    """Sliding-window queue bounds + priority-ordered shedding."""
+
+    def __init__(
+        self,
+        router: FleetRouter,
+        queue_depth: int,
+        window_s: float,
+        registry: Optional[Registry] = None,
+    ):
+        if queue_depth < 1:
+            raise ReproError("queue depth must be at least 1, got %d"
+                             % queue_depth)
+        if window_s < 0:
+            raise ReproError("admission window must be non-negative")
+        self.router = router
+        self.queue_depth = queue_depth
+        self.window_s = window_s
+        self.registry = registry if registry is not None else Registry()
+        self._windows = [deque() for _ in range(router.n_replicas)]
+        self._admitted = self.registry.counter(
+            "fleet_admitted_total", "Requests admitted, by replica",
+            labelnames=("replica",))
+        self._shed = self.registry.counter(
+            "fleet_shed_total", "Requests shed, by reason and priority",
+            labelnames=("reason", "priority"))
+        self._depth_gauge = self.registry.gauge(
+            "fleet_queue_depth",
+            "Modeled sliding-window queue occupancy, by replica",
+            labelnames=("replica",))
+        self.shed_records: List[ShedRecord] = []
+
+    # ------------------------------------------------------------------
+    def depths(self, now: float) -> List[int]:
+        """Per-replica modeled occupancy at virtual time ``now``.
+
+        Arrivals older than the admission window have flushed to the
+        device and no longer exert backpressure.
+        """
+        horizon = now - self.window_s
+        out = []
+        for replica, window in enumerate(self._windows):
+            while window and window[0] <= horizon:
+                window.popleft()
+            out.append(len(window))
+            self._depth_gauge.set(len(window), replica=replica)
+        return out
+
+    def admit(self, request: ConvRequest) -> Optional[int]:
+        """Route one arrival; returns its replica, or None if shed.
+
+        Arrivals must be offered in non-decreasing virtual-time order
+        (the fleet replays traces sorted by arrival, like the engine).
+        """
+        if request.priority not in PRIORITY_CLASSES:
+            raise ReproError(
+                "unknown priority %r; priority classes: %s"
+                % (request.priority, ", ".join(PRIORITY_CLASSES)))
+        now = request.arrival_s
+        if request.deadline_s is not None and request.deadline_s <= now:
+            self._record_shed(request, "expired")
+            return None
+        replica = self.router.route(
+            request.problem, self.depths(now), self.queue_depth,
+            priority=request.priority,
+        )
+        if replica is None:
+            self._record_shed(request, "overload")
+            return None
+        self._windows[replica].append(now)
+        self._admitted.inc(replica=replica)
+        self._depth_gauge.set(len(self._windows[replica]), replica=replica)
+        return replica
+
+    def _record_shed(self, request: ConvRequest, reason: str) -> None:
+        self._shed.inc(reason=reason, priority=request.priority)
+        self.shed_records.append(ShedRecord(
+            req_id=request.req_id, reason=reason,
+            priority=request.priority, arrival_s=request.arrival_s,
+        ))
+
+    # ------------------------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        return int(round(self._admitted.total()))
+
+    @property
+    def shed(self) -> int:
+        return int(round(self._shed.total()))
+
+    @property
+    def shed_rate(self) -> float:
+        """Sheds over offered requests (0.0 before any arrival)."""
+        offered = self.admitted + self.shed
+        return self.shed / offered if offered else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "queue_depth": self.queue_depth,
+            "window_s": self.window_s,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "shed_by_reason": {
+                "%s/%s" % (labels["reason"], labels["priority"]):
+                    int(round(value))
+                for labels, value in self._shed.series()
+            },
+        }

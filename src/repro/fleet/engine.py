@@ -1,0 +1,363 @@
+"""The fleet engine: N serving replicas behind one deterministic front.
+
+:class:`FleetEngine` replays a request trace through ``replicas``
+independent :class:`~repro.serve.engine.ServeEngine` instances:
+
+1. **Route + admit** (parent, virtual-time order) — every arrival is
+   hashed to its shape-affinity replica, bounded by the admission
+   window, spilled or shed per its priority class
+   (:mod:`repro.fleet.router`, :mod:`repro.fleet.admission`).
+2. **Pre-plan** (parent) — each distinct admitted shape is planned once
+   through the two cache tiers: the fleet-local LRU, then the
+   :class:`~repro.fleet.shared_cache.SharedPlanCache`, and only then
+   the design-space explorer.  The winning plans are shipped to the
+   replicas so every replica starts hot.
+3. **Replay** — each replica serves its sub-trace through
+   :func:`repro.parallel.parallel_map` (one work item per replica;
+   ``jobs=1`` runs the identical code in-process), with per-replica
+   telemetry snapshots merged back into the fleet's registry and
+   tracer — replica spans appear in the Perfetto export on
+   ``replica<i>/...`` tracks.
+4. **Reassemble + account** — responses are stitched back into request
+   order by id (bit-identical at any ``jobs`` degree), and the SLO
+   surface (:mod:`repro.fleet.slo`) records latency percentiles,
+   deadline misses, and the fleet makespan.
+
+Determinism contract: with a queue bound loose enough that nothing is
+shed, the fleet's responses are **bit-identical** to a single
+``ServeEngine`` serially replaying the same trace — same outputs, same
+winning backends — because routing only partitions the trace and every
+replica runs the same deterministic planning and execution stack.
+Batching composition (and therefore latency metadata) legitimately
+differs: each replica batches only the requests routed to it.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.obs.exporters import write_chrome_trace
+from repro.obs.metrics import Registry
+from repro.obs.snapshot import merge_registry_snapshot, worker_snapshot
+from repro.obs.tracing import Tracer, VIRTUAL_TRACK
+from repro.parallel import parallel_map
+from repro.serve.dispatch import Dispatcher
+from repro.serve.engine import ServeEngine
+from repro.serve.plan_cache import PlanCache
+from repro.serve.request import ConvRequest, ConvResponse, plan_key
+from repro.fleet.admission import AdmissionController, ShedRecord
+from repro.fleet.router import FleetRouter
+from repro.fleet.shared_cache import SharedPlanCache, cache_version_token
+from repro.fleet.slo import FleetStats, format_fleet_stats
+
+__all__ = [
+    "MAX_REPLICAS",
+    "MAX_QUEUE_DEPTH",
+    "check_replicas",
+    "check_queue_depth",
+    "FleetConfig",
+    "FleetResult",
+    "FleetEngine",
+]
+
+#: Replica-count bound: past this, per-replica traffic is too thin for
+#: shape affinity to keep any cache hot.
+MAX_REPLICAS = 64
+
+#: Admission queue-depth bound per replica.
+MAX_QUEUE_DEPTH = 4096
+
+
+def check_replicas(replicas: int) -> int:
+    """Validate a replica count; the error names the valid range."""
+    if not isinstance(replicas, int) or not 1 <= replicas <= MAX_REPLICAS:
+        raise ReproError(
+            "invalid replica count %r; valid range: 1..%d"
+            % (replicas, MAX_REPLICAS))
+    return replicas
+
+
+def check_queue_depth(queue_depth: int) -> int:
+    """Validate a per-replica queue depth; the error names the range."""
+    if (not isinstance(queue_depth, int)
+            or not 1 <= queue_depth <= MAX_QUEUE_DEPTH):
+        raise ReproError(
+            "invalid queue depth %r; valid range: 1..%d"
+            % (queue_depth, MAX_QUEUE_DEPTH))
+    return queue_depth
+
+
+@dataclass
+class FleetConfig:
+    """Everything needed to (re)build the fleet and its replicas.
+
+    The per-replica fields mirror :class:`~repro.serve.engine.ServeEngine`
+    so a fleet of one is configured exactly like a single engine.
+    """
+
+    arch: GPUArchitecture = KEPLER_K40M
+    replicas: int = 4
+    deadline_s: float = 1e-3
+    max_batch: int = 32
+    cache_capacity: int = 128
+    executor: str = "reference"
+    backends: Optional[Tuple[str, ...]] = None
+    queue_depth: int = 64
+    jobs: Optional[Union[int, str]] = None
+
+    def __post_init__(self):
+        check_replicas(self.replicas)
+        check_queue_depth(self.queue_depth)
+        if self.backends is not None:
+            self.backends = tuple(self.backends)
+
+    def engine_kwargs(self) -> dict:
+        """Constructor kwargs for one replica's ServeEngine."""
+        return {
+            "arch": self.arch,
+            "deadline_s": self.deadline_s,
+            "max_batch": self.max_batch,
+            "cache_capacity": self.cache_capacity,
+            "executor": self.executor,
+            "backends": self.backends,
+        }
+
+
+@dataclass
+class FleetResult:
+    """One trace replay: responses aligned with the input requests.
+
+    ``responses[i]`` is the response for ``requests[i]`` or ``None`` if
+    it was shed; ``assignments[i]`` is its replica (or ``None``).
+    """
+
+    responses: List[Optional[ConvResponse]]
+    assignments: List[Optional[int]]
+    shed: List[ShedRecord] = field(default_factory=list)
+
+    @property
+    def served(self) -> int:
+        return sum(1 for r in self.responses if r is not None)
+
+    @property
+    def shed_count(self) -> int:
+        return len(self.shed)
+
+
+def _serve_replica_shard(payload) -> dict:
+    """Replay one replica's sub-trace; module-level so pools pickle it.
+
+    Runs against a replica-private registry/tracer and ships both back
+    as a snapshot, so fleet telemetry is complete and identical whether
+    this runs in-process (``jobs=1``) or in a pool worker.
+    """
+    replica, engine_kwargs, requests, seeds = payload
+    registry = Registry()
+    tracer = Tracer()
+    engine = ServeEngine(registry=registry, tracer=tracer, **engine_kwargs)
+    for key, plan in seeds:
+        engine.plan_cache.put(key, plan)
+    responses = engine.serve_trace(requests)
+    return {
+        "replica": replica,
+        "responses": responses,
+        "clock_s": engine.clock_s,
+        "stats": engine.stats(),
+        "obs": worker_snapshot(registry, tracer),
+    }
+
+
+class FleetEngine:
+    """Shape-affinity-routed fleet of serving replicas."""
+
+    def __init__(
+        self,
+        config: Optional[FleetConfig] = None,
+        registry: Optional[Registry] = None,
+        tracer: Optional[Tracer] = None,
+        shared_cache: Optional[SharedPlanCache] = None,
+    ):
+        self.config = config if config is not None else FleetConfig()
+        self.registry = registry if registry is not None else Registry()
+        self.tracer = tracer
+        self.router = FleetRouter(self.config.replicas,
+                                  registry=self.registry)
+        # The admission window equals the batching deadline: that is
+        # how long an admitted request can occupy its replica's queue
+        # before the batcher is guaranteed to have flushed it.
+        self.admission = AdmissionController(
+            self.router, queue_depth=self.config.queue_depth,
+            window_s=self.config.deadline_s, registry=self.registry)
+        self.shared_cache = (shared_cache if shared_cache is not None
+                             else SharedPlanCache(registry=self.registry))
+        self.slo = FleetStats(registry=self.registry)
+        # Parent-side planner: its PlanCache is the fleet-local tier,
+        # consulted before the shared tier on every distinct shape.
+        self._planner = Dispatcher(
+            self.config.arch,
+            cache=PlanCache(self.config.cache_capacity,
+                            registry=self.registry),
+            backends=self.config.backends,
+            registry=self.registry, tracer=tracer,
+        )
+        self._cache_token = cache_version_token(
+            self.config.arch, self._planner.backends)
+        self._last_engine_stats: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Planning (two cache tiers)
+    # ------------------------------------------------------------------
+    @property
+    def cache_token(self) -> str:
+        """Version token the shared tier keys this fleet's plans under."""
+        return self._cache_token
+
+    def plan_for(self, problem):
+        """Plan one shape: local tier, then shared tier, then the DSE."""
+        key = plan_key(problem, self.config.arch)
+        plan = self._planner.cache.lookup(key)
+        if plan is not None:
+            return plan
+        plan = self.shared_cache.get_or_build(
+            self._cache_token, key,
+            lambda: self._planner.build_plan(problem))
+        self._planner.cache.put(key, plan)
+        return plan
+
+    def invalidate_plans(self, reason: str = "manual") -> int:
+        """Drop both cache tiers (e.g. after a preset change)."""
+        dropped = self.shared_cache.invalidate(reason)
+        self._planner.cache.clear()
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Trace replay
+    # ------------------------------------------------------------------
+    def serve_trace(self, requests: Sequence[ConvRequest]) -> FleetResult:
+        """Replay a trace through the fleet; see the module docstring."""
+        reqs = list(requests)
+        by_req_id = {r.req_id: r for r in reqs}
+        if len(by_req_id) != len(reqs):
+            raise ReproError("fleet traces need unique request ids")
+        shed_mark = len(self.admission.shed_records)
+
+        # Phase 1: route + admit in virtual-time order.
+        shards: List[List[ConvRequest]] = [
+            [] for _ in range(self.config.replicas)]
+        assignment: Dict[int, Optional[int]] = {}
+        for request in sorted(reqs, key=lambda r: r.arrival_s):
+            replica = self.admission.admit(request)
+            assignment[request.req_id] = replica
+            if replica is not None:
+                shards[replica].append(request)
+
+        # Phase 2: pre-plan each replica's distinct shapes through the
+        # local -> shared cache tiers, and seed the replicas with the
+        # winners so they replan nothing.
+        seeds: List[List[Tuple[tuple, object]]] = []
+        for shard in shards:
+            seen = {}
+            for request in shard:
+                key = plan_key(request.problem, self.config.arch)
+                if key not in seen:
+                    seen[key] = self.plan_for(request.problem)
+            seeds.append(list(seen.items()))
+
+        # Phase 3: replay each replica (in-process when jobs=1, via the
+        # process pool otherwise — same worker function either way).
+        payloads = []
+        engine_kwargs = self.config.engine_kwargs()
+        for replica, shard in enumerate(shards):
+            if not shard:
+                continue
+            payloads.append(
+                (replica, engine_kwargs, shard, seeds[replica]))
+        try:
+            pickle.dumps(seeds)
+        except Exception:
+            # Unpicklable plans cannot ride to pool workers; replicas
+            # will rebuild them (deterministically identical).
+            payloads = [(r, kw, shard, []) for r, kw, shard, _ in payloads]
+        region_start_s = self.tracer.now_s() if self.tracer else 0.0
+        results = parallel_map(
+            _serve_replica_shard, payloads,
+            jobs=self.config.jobs, merge_obs=False,
+        )
+
+        # Phase 4: merge telemetry, account SLOs, reassemble.
+        responses_by_id: Dict[int, ConvResponse] = {}
+        makespan = 0.0
+        for res in results:
+            replica = res["replica"]
+            self._merge_replica_obs(replica, res["obs"], region_start_s)
+            self._last_engine_stats[replica] = res["stats"]
+            makespan = max(makespan, res["clock_s"])
+            for response in res["responses"]:
+                request = by_req_id[response.req_id]
+                self.slo.record_response(replica, request, response)
+                responses_by_id[response.req_id] = response
+        self.slo.record_makespan(makespan)
+        return FleetResult(
+            responses=[responses_by_id.get(r.req_id) for r in reqs],
+            assignments=[assignment[r.req_id] for r in reqs],
+            shed=self.admission.shed_records[shed_mark:],
+        )
+
+    def _merge_replica_obs(self, replica: int, snapshot: dict,
+                           offset_s: float) -> None:
+        """Fold a replica's telemetry into the fleet surfaces.
+
+        Counters/histograms sum into fleet-wide totals; virtual spans
+        land on per-replica track names (``replica3/kernel``) so the
+        Perfetto export shows each replica's modeled timeline.
+        """
+        merge_registry_snapshot(snapshot["registry"], registry=self.registry)
+        if self.tracer is None:
+            return
+        for entry in snapshot["tracer"].get("spans", ()):
+            virtual = entry["track"] == VIRTUAL_TRACK
+            category = entry["category"]
+            if virtual:
+                category = "replica%d/%s" % (replica, category)
+            args = dict(entry.get("args", {}))
+            args["replica"] = replica
+            self.tracer.add_span(
+                entry["name"], category,
+                entry["start_s"] + (0.0 if virtual else offset_s),
+                entry["duration_s"], track=entry["track"],
+                args=args, depth=entry.get("depth", 0),
+            )
+
+    # ------------------------------------------------------------------
+    # Stats / export
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-serializable fleet snapshot (SLOs, admission, caches)."""
+        snap = self.slo.snapshot(
+            self.config.replicas,
+            admission_stats=self.admission.stats(),
+            router_stats=self.router.stats(),
+            shared_cache_stats=self.shared_cache.stats(),
+        )
+        for replica, engine_stats in self._last_engine_stats.items():
+            snap["replicas"][str(replica)]["engine"] = {
+                "mean_batch_size": engine_stats["mean_batch_size"],
+                "throughput_rps": engine_stats["throughput_rps"],
+                "plan_cache_hit_rate":
+                    engine_stats["plan_cache"]["hit_rate"],
+            }
+        return snap
+
+    def format_stats(self) -> str:
+        return format_fleet_stats(self.stats())
+
+    def export_trace(self, path: str) -> dict:
+        """Write the fleet's merged span log as Chrome trace-event JSON."""
+        if self.tracer is None:
+            raise ReproError(
+                "fleet has no tracer; construct with tracer=... to trace")
+        return write_chrome_trace(path, self.tracer, registry=self.registry)

@@ -22,7 +22,13 @@ from repro.serve.batcher import Batch, DynamicBatcher
 from repro.serve.dispatch import DEFAULT_BACKENDS, Dispatcher, KernelPlan
 from repro.serve.engine import AsyncServeEngine, ServeEngine
 from repro.serve.plan_cache import PlanCache
-from repro.serve.request import ConvRequest, ConvResponse, plan_key, request_from_arrays
+from repro.serve.request import (
+    PRIORITY_CLASSES,
+    ConvRequest,
+    ConvResponse,
+    plan_key,
+    request_from_arrays,
+)
 from repro.serve.stats import ServeStats, format_stats
 from repro.serve.trace import (
     DEFAULT_SERVING_SHAPES,
@@ -40,6 +46,7 @@ __all__ = [
     "KernelPlan",
     "DEFAULT_BACKENDS",
     "PlanCache",
+    "PRIORITY_CLASSES",
     "ConvRequest",
     "ConvResponse",
     "plan_key",

@@ -43,6 +43,9 @@ class PlanCache:
             "plan_cache_evictions_total", "LRU evictions from the plan cache")
         self._entries_gauge = self.registry.gauge(
             "plan_cache_entries", "Plans currently cached")
+        self._hit_rate_gauge = self.registry.gauge(
+            "plan_cache_hit_rate",
+            "Hits over lookups since the cache was created")
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -70,9 +73,11 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self._misses.inc()
+            self._hit_rate_gauge.set(self.hit_rate)
             return None
         self._entries.move_to_end(key)
         self._hits.inc()
+        self._hit_rate_gauge.set(self.hit_rate)
         return entry
 
     def put(self, key: Tuple, plan: object) -> None:

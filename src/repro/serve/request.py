@@ -17,10 +17,16 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.conv.tensors import ConvProblem, Padding
-from repro.errors import ShapeError
+from repro.errors import ReproError, ShapeError
 from repro.gpu.arch import GPUArchitecture
 
-__all__ = ["ConvRequest", "ConvResponse", "plan_key", "request_from_arrays"]
+__all__ = [
+    "PRIORITY_CLASSES",
+    "ConvRequest",
+    "ConvResponse",
+    "plan_key",
+    "request_from_arrays",
+]
 
 
 def plan_key(problem: ConvProblem, arch: GPUArchitecture) -> Tuple:
@@ -32,6 +38,12 @@ def plan_key(problem: ConvProblem, arch: GPUArchitecture) -> Tuple:
     return (problem, arch.name)
 
 
+#: Priority classes a request may carry, most to least important.  The
+#: single-engine path ignores them; the fleet's admission controller
+#: (see :mod:`repro.fleet.admission`) orders backpressure by class.
+PRIORITY_CLASSES = ("critical", "standard", "batch")
+
+
 @dataclass(eq=False)
 class ConvRequest:
     """One convolution to serve.
@@ -39,6 +51,12 @@ class ConvRequest:
     ``seed`` records the ``ConvProblem.random_instance`` seed the arrays
     were generated from, when applicable — it is what trace files
     persist instead of the raw arrays.
+
+    ``priority`` and ``deadline_s`` are serving-QoS annotations: the
+    priority class (one of :data:`PRIORITY_CLASSES`) and an *absolute*
+    virtual-time completion deadline.  A single :class:`ServeEngine`
+    ignores both; the fleet layer sheds expired requests at admission
+    and counts deadline misses at completion.
     """
 
     req_id: int
@@ -47,10 +65,16 @@ class ConvRequest:
     filters: np.ndarray
     arrival_s: float = 0.0
     seed: Optional[int] = None
+    priority: str = "standard"
+    deadline_s: Optional[float] = None
 
     def __post_init__(self):
         self.image = self.problem.check_image(self.image)
         self.filters = self.problem.check_filters(self.filters)
+        if self.priority not in PRIORITY_CLASSES:
+            raise ReproError(
+                "unknown priority %r; priority classes: %s"
+                % (self.priority, ", ".join(PRIORITY_CLASSES)))
 
 
 @dataclass(eq=False)

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence
 
 from repro.conv.tensors import ConvProblem, Padding
 from repro.errors import ReproError
-from repro.serve.request import ConvRequest
+from repro.serve.request import PRIORITY_CLASSES, ConvRequest
 
 __all__ = [
     "DEFAULT_SERVING_SHAPES",
@@ -42,12 +42,22 @@ def synthetic_trace(
     shapes: Sequence[ConvProblem] = DEFAULT_SERVING_SHAPES,
     seed: int = 0,
     rate_hz: Optional[float] = 50_000.0,
+    priority_mix: Optional[dict] = None,
+    deadline_budget_s: Optional[float] = None,
 ) -> List[ConvRequest]:
     """Generate a reproducible mixed-shape request trace.
 
     ``rate_hz`` is the mean arrival rate in requests per *modeled*
     second (inter-arrival times are exponential); ``None`` makes every
     request arrive at t=0 (a closed-loop burst).
+
+    ``priority_mix`` maps priority classes (see
+    :data:`~repro.serve.request.PRIORITY_CLASSES`) to relative weights,
+    e.g. ``{"standard": 8, "batch": 2}``; ``deadline_budget_s`` gives
+    every request an absolute completion deadline of ``arrival +
+    budget``.  Both default to off, which leaves the request stream —
+    including the shape/arrival RNG draws — byte-identical to traces
+    generated before these knobs existed.
     """
     import numpy as np
 
@@ -55,7 +65,24 @@ def synthetic_trace(
         raise ReproError("a trace needs at least one request")
     if not shapes:
         raise ReproError("a trace needs at least one shape")
+    if deadline_budget_s is not None and deadline_budget_s < 0:
+        raise ReproError("deadline_budget_s must be non-negative")
+    classes, weights = (), None
+    if priority_mix:
+        unknown = set(priority_mix) - set(PRIORITY_CLASSES)
+        if unknown:
+            raise ReproError(
+                "unknown priority classes %s; priority classes: %s"
+                % (sorted(unknown), ", ".join(PRIORITY_CLASSES)))
+        classes = tuple(c for c in PRIORITY_CLASSES if c in priority_mix)
+        total = float(sum(priority_mix[c] for c in classes))
+        if total <= 0:
+            raise ReproError("priority_mix weights must sum to > 0")
+        weights = [priority_mix[c] / total for c in classes]
     rng = np.random.default_rng(seed)
+    # Priorities come from an independent stream so enabling the mix
+    # never perturbs the shape/arrival draws of an existing trace.
+    priority_rng = np.random.default_rng(seed + 1) if classes else None
     clock = 0.0
     requests = []
     for i in range(n_requests):
@@ -64,9 +91,17 @@ def synthetic_trace(
             clock += float(rng.exponential(1.0 / rate_hz))
         data_seed = seed + 1000 * i
         image, filters = problem.random_instance(seed=data_seed)
+        priority = "standard"
+        if priority_rng is not None:
+            priority = classes[int(priority_rng.choice(len(classes),
+                                                       p=weights))]
+        deadline = None
+        if deadline_budget_s is not None:
+            deadline = clock + deadline_budget_s
         requests.append(ConvRequest(
             req_id=i, problem=problem, image=image, filters=filters,
             arrival_s=clock, seed=data_seed,
+            priority=priority, deadline_s=deadline,
         ))
     return requests
 
@@ -81,7 +116,7 @@ def save_trace(path: str, requests: Sequence[ConvRequest]) -> None:
                 % request.req_id
             )
         p = request.problem
-        records.append({
+        record = {
             "req_id": request.req_id,
             "height": p.height,
             "width": p.width,
@@ -91,7 +126,14 @@ def save_trace(path: str, requests: Sequence[ConvRequest]) -> None:
             "padding": p.padding.value,
             "arrival_s": request.arrival_s,
             "seed": request.seed,
-        })
+        }
+        # QoS annotations persist only when set, so pre-fleet trace
+        # files and their byte layout are unchanged.
+        if request.priority != "standard":
+            record["priority"] = request.priority
+        if request.deadline_s is not None:
+            record["deadline_s"] = request.deadline_s
+        records.append(record)
     with open(path, "w") as fh:
         json.dump({"version": 1, "requests": records}, fh, indent=1)
 
@@ -116,6 +158,8 @@ def load_trace(path: str) -> List[ConvRequest]:
                 req_id=rec["req_id"], problem=problem, image=image,
                 filters=filters, arrival_s=rec.get("arrival_s", 0.0),
                 seed=rec["seed"],
+                priority=rec.get("priority", "standard"),
+                deadline_s=rec.get("deadline_s"),
             ))
     except (KeyError, TypeError, ValueError) as exc:
         raise ReproError(

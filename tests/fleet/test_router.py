@@ -1,0 +1,112 @@
+"""Tests for shape-affinity routing and load-aware spilling."""
+
+import pytest
+
+from repro.conv.tensors import ConvProblem
+from repro.errors import ReproError
+from repro.fleet import FleetRouter, shape_hash
+from repro.obs.metrics import Registry
+
+
+def problem(n=32, k=3, c=4, f=8):
+    return ConvProblem.square(n, k, channels=c, filters=f)
+
+
+class TestShapeHash:
+    def test_deterministic(self):
+        assert shape_hash(problem()) == shape_hash(problem())
+
+    def test_process_stable_pinned_value(self):
+        # BLAKE2-based, so this value must never change across runs,
+        # processes, or Python versions (unlike builtin hash()).
+        assert shape_hash(problem(32, 3, 4, 8)) == 0xC96B13596949E9C7
+
+    def test_distinguishes_shapes(self):
+        assert shape_hash(problem(32, 3)) != shape_hash(problem(32, 5))
+        assert shape_hash(problem(32, 3, c=4)) != shape_hash(problem(32, 3, c=8))
+
+    def test_salt_reshuffles(self):
+        assert shape_hash(problem()) != shape_hash(problem(), salt="v2")
+
+
+class TestAffinity:
+    def test_in_range_and_stable(self):
+        router = FleetRouter(4)
+        homes = {router.affinity(problem(n)) for n in (16, 24, 32, 48, 64)}
+        assert all(0 <= h < 4 for h in homes)
+        assert router.affinity(problem(32)) == router.affinity(problem(32))
+
+    def test_single_replica_routes_everything_home(self):
+        router = FleetRouter(1)
+        assert router.affinity(problem()) == 0
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ReproError):
+            FleetRouter(0)
+
+
+class TestRoute:
+    def test_affinity_hit_when_home_has_room(self):
+        router = FleetRouter(4)
+        home = router.affinity(problem())
+        assert router.route(problem(), [0, 0, 0, 0], 8) == home
+        assert router.affinity_hits == 1
+        assert router.spills == 0
+
+    def test_standard_spills_to_least_loaded(self):
+        router = FleetRouter(4)
+        home = router.affinity(problem())
+        depths = [5, 5, 5, 5]
+        depths[home] = 8        # home full at bound 8
+        least = (home + 1) % 4
+        depths[least] = 1
+        assert router.route(problem(), depths, 8) == least
+        assert router.spills == 1
+
+    def test_spill_tie_breaks_to_lowest_replica(self):
+        router = FleetRouter(4)
+        home = router.affinity(problem())
+        depths = [2, 2, 2, 2]
+        depths[home] = 8
+        expected = min(r for r in range(4) if r != home)
+        assert router.route(problem(), depths, 8) == expected
+
+    def test_critical_bypasses_full_home(self):
+        router = FleetRouter(4)
+        home = router.affinity(problem())
+        assert router.route(problem(), [99, 99, 99, 99], 8,
+                            priority="critical") == home
+        assert router.affinity_hits == 1
+
+    def test_batch_never_spills(self):
+        router = FleetRouter(4)
+        home = router.affinity(problem())
+        depths = [0, 0, 0, 0]
+        depths[home] = 8
+        assert router.route(problem(), depths, 8, priority="batch") is None
+
+    def test_sheds_when_fleet_is_full(self):
+        router = FleetRouter(2)
+        assert router.route(problem(), [4, 4], 4) is None
+
+    def test_depth_arity_checked(self):
+        with pytest.raises(ReproError):
+            FleetRouter(4).route(problem(), [0, 0], 8)
+
+
+class TestStats:
+    def test_hit_rate_and_counters(self):
+        registry = Registry()
+        router = FleetRouter(2, registry=registry)
+        assert router.affinity_hit_rate == 1.0   # vacuous before routing
+        home = router.affinity(problem())
+        router.route(problem(), [0, 0], 1)                     # hit
+        full = [0, 0]
+        full[home] = 1
+        router.route(problem(), full, 1)                       # spill
+        stats = router.stats()
+        assert stats["affinity_hits"] == 1
+        assert stats["spills"] == 1
+        assert stats["affinity_hit_rate"] == pytest.approx(0.5)
+        assert registry.get(
+            "fleet_router_affinity_hits_total").total() == 1

@@ -93,6 +93,64 @@ class TestDrain:
         assert batcher.pending == 0
 
 
+class TestEdgeCases:
+    def test_zero_deadline_multiple_groups_all_due(self):
+        batcher = DynamicBatcher(deadline_s=0.0, max_batch=8)
+        batcher.add("a", make_request(0), now=1.0)
+        batcher.add("b", make_request(1), now=1.0)
+        batches = batcher.due(now=1.0)
+        assert sorted(b.key for b in batches) == ["a", "b"]
+        assert all(len(b) == 1 for b in batches)
+
+    def test_expired_deadline_flushes_on_next_poll(self):
+        # A group whose deadline passed long ago is due immediately —
+        # the batcher never holds work past its flush time, no matter
+        # how late the next poll lands.
+        batcher = DynamicBatcher(deadline_s=1e-3, max_batch=8)
+        batcher.add("k", make_request(0), now=0.0)
+        batches = batcher.due(now=10.0)
+        assert len(batches) == 1
+        assert batches[0].reason == "deadline"
+
+    def test_single_request_deadline_flush(self):
+        # One lonely request still flushes as a batch of one at its
+        # deadline; it is never stranded waiting for company.
+        batcher = DynamicBatcher(deadline_s=1e-3, max_batch=32)
+        batcher.add("k", make_request(0, arrival_s=0.0), now=0.0)
+        assert batcher.due(now=0.9e-3) == []
+        batches = batcher.due(now=1e-3)
+        assert len(batches) == 1 and len(batches[0]) == 1
+        assert batcher.pending == 0
+
+    def test_mixed_shape_interleaved_arrivals(self):
+        # a b a b a b: groups accumulate independently and each flush
+        # preserves per-group arrival order.
+        batcher = DynamicBatcher(deadline_s=1e-3, max_batch=8)
+        pa = ConvProblem.square(16, 3, channels=1, filters=2)
+        pb = ConvProblem.square(24, 3, channels=1, filters=2)
+        for i in range(6):
+            key, problem = (("a", pa), ("b", pb))[i % 2]
+            t = i * 1e-4
+            batcher.add(key, make_request(i, problem, arrival_s=t), now=t)
+        batches = batcher.due(now=2e-3)
+        assert [b.key for b in batches] == ["a", "b"]
+        assert [r.req_id for r in batches[0].requests] == [0, 2, 4]
+        assert [r.req_id for r in batches[1].requests] == [1, 3, 5]
+
+    def test_mixed_shape_interleaving_size_flush_only_fills_group(self):
+        # An interleaved stream fills group a to max_batch without
+        # dragging group b's pending work along.
+        batcher = DynamicBatcher(deadline_s=1.0, max_batch=2)
+        pa = ConvProblem.square(16, 3, channels=1, filters=2)
+        pb = ConvProblem.square(24, 3, channels=1, filters=2)
+        assert batcher.add("a", make_request(0, pa), now=0.0) is None
+        assert batcher.add("b", make_request(1, pb), now=0.0) is None
+        full = batcher.add("a", make_request(2, pa), now=0.0)
+        assert full is not None and full.key == "a"
+        assert [r.req_id for r in full.requests] == [0, 2]
+        assert batcher.pending == 1
+
+
 class TestValidation:
     def test_negative_deadline_rejected(self):
         with pytest.raises(ReproError):

@@ -193,3 +193,28 @@ class TestTracePersistence:
             synthetic_trace(0)
         with pytest.raises(ReproError):
             synthetic_trace(5, shapes=())
+
+    def test_priority_and_deadline_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        trace = synthetic_trace(
+            20, seed=4,
+            priority_mix={"critical": 0.3, "standard": 0.4, "batch": 0.3},
+            deadline_budget_s=2e-3)
+        assert len({r.priority for r in trace}) > 1
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        for original, copy in zip(trace, loaded):
+            assert copy.priority == original.priority
+            assert copy.deadline_s == pytest.approx(original.deadline_s)
+
+    def test_priority_mix_does_not_change_shapes_or_arrivals(self):
+        plain = synthetic_trace(15, seed=2)
+        mixed = synthetic_trace(15, seed=2,
+                                priority_mix={"critical": 1.0})
+        for a, b in zip(plain, mixed):
+            assert a.problem == b.problem
+            assert a.arrival_s == b.arrival_s
+
+    def test_unknown_priority_class_rejected(self):
+        with pytest.raises(ReproError, match="priority classes"):
+            synthetic_trace(5, priority_mix={"urgent": 1.0})

@@ -107,3 +107,27 @@ class TestStats:
         cache.clear()
         assert len(cache) == 0
         assert cache.hits == 1
+
+
+class TestRegistryGauges:
+    def test_hit_rate_gauge_tracks_lookups(self):
+        from repro.obs.metrics import Registry
+
+        registry = Registry()
+        cache = PlanCache(capacity=4, registry=registry)
+        gauge = registry.get("plan_cache_hit_rate")
+        assert gauge is not None and gauge.value() == 0.0
+        cache.put("a", 1)
+        cache.lookup("a")
+        assert gauge.value() == 1.0
+        cache.lookup("b")
+        assert gauge.value() == 0.5
+
+    def test_eviction_counter_in_registry(self):
+        from repro.obs.metrics import Registry
+
+        registry = Registry()
+        cache = PlanCache(capacity=1, registry=registry)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert registry.get("plan_cache_evictions_total").total() == 1

@@ -103,6 +103,81 @@ class TestServe:
         assert "served 8 requests" in capsys.readouterr().out
 
 
+class TestServeFleet:
+    def test_fleet_text_output(self, capsys):
+        assert main(["serve", "--synthetic", "60", "--replicas", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet served 60 requests across 4 replicas" in out
+        assert "router affinity" in out
+        assert "shared plan cache" in out
+        assert "replica 0" in out
+
+    def test_fleet_compare_serial_bit_identical(self, capsys):
+        assert main(["serve", "--synthetic", "50", "--replicas", "3",
+                     "--compare-serial", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "0 response mismatches vs fleet" in out
+        assert "all 50 served responses match the reference" in out
+
+    def test_fleet_json_snapshot(self, capsys):
+        import json
+
+        assert main(["serve", "--synthetic", "40", "--replicas", "2",
+                     "--json", "--compare-serial"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["served"] == 40
+        assert snap["serial_mismatches"] == 0
+        assert snap["router"]["affinity_hit_rate"] == 1.0
+        assert snap["admission"]["shed"] == 0
+        assert len(snap["replicas"]) == 2
+
+    def test_fleet_deadline_and_priority_flags(self, capsys):
+        assert main(["serve", "--synthetic", "40", "--replicas", "2",
+                     "--deadline-budget", "5e-3", "--priority-mix",
+                     "critical=0.2,standard=0.6,batch=0.2"]) == 0
+        assert "deadline misses" in capsys.readouterr().out
+
+    def test_replicas_range_validated(self, capsys):
+        assert main(["serve", "--synthetic", "5", "--replicas", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "bad serving configuration" in err
+        assert "valid range: 1..64" in err
+
+    def test_queue_depth_range_validated(self, capsys):
+        assert main(["serve", "--synthetic", "5", "--replicas", "2",
+                     "--queue-depth", "0"]) == 2
+        assert "valid range: 1..4096" in capsys.readouterr().err
+
+    def test_queue_depth_validated_without_fleet(self, capsys):
+        # The bound is checked even on the single-engine path, so a
+        # typo'd flag never passes silently.
+        assert main(["serve", "--synthetic", "5",
+                     "--queue-depth", "5000"]) == 2
+        assert "valid range: 1..4096" in capsys.readouterr().err
+
+    def test_bad_priority_mix_reports_and_exits_2(self, capsys):
+        assert main(["serve", "--synthetic", "5",
+                     "--priority-mix", "critical=x"]) == 2
+        assert "priority-mix" in capsys.readouterr().err
+
+    def test_unknown_priority_class_lists_valid_classes(self, capsys):
+        assert main(["serve", "--synthetic", "5",
+                     "--priority-mix", "urgent=1.0"]) == 2
+        err = capsys.readouterr().err
+        assert "critical" in err and "batch" in err
+
+    def test_fleet_emit_trace_has_replica_tracks(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "fleet.json"
+        assert main(["serve", "--synthetic", "40", "--replicas", "2",
+                     "--emit-trace", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        cats = {event.get("cat") for event in doc["traceEvents"]
+                if event.get("ph") == "X"}
+        assert any(c and c.startswith("replica") for c in cats)
+
+
 class TestServeEmitTrace:
     def test_emit_trace_writes_perfetto_loadable_file(self, capsys, tmp_path):
         import json
