@@ -37,6 +37,27 @@ from repro.fleet import FleetConfig, FleetEngine
 from repro.serve import ServeEngine, synthetic_trace
 
 
+def leg_meta():
+    """Provenance stamp for one leg: schema, version, git sha, python.
+
+    ``repro perf report`` ingests these numbers as a trajectory point
+    (:func:`repro.obs.perf.trajectory.normalize_bench_serve`); the stamp
+    is what lets that ingestion carry real provenance instead of a
+    backfilled guess.
+    """
+    import platform
+
+    from repro.obs.perf.trajectory import SCHEMA_VERSION, _git_sha
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "version": __version__,
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "recorded_unix": round(time.time(), 3),
+    }
+
+
 def response_digest(responses):
     """One order-sensitive digest over (req_id, backend, output bytes)."""
     h = hashlib.blake2b(digest_size=16)
@@ -178,6 +199,8 @@ def main(argv=None):
     doc["legs"]["overload"] = leg_overload(
         args.overload_requests, args.replicas, args.overload_rate,
         args.seed, jobs=args.jobs)
+    for leg in doc["legs"].values():
+        leg["meta"] = leg_meta()
 
     with open(args.output, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

@@ -91,14 +91,19 @@ class InterpretedSpecialKernel:
         threads = cfg.threads(n)
         img_w = problem.width
 
-        for by in range(blocks_y):
-            for bx in range(blocks_x):
-                ex.run_block(
-                    self._block_program, (bx, by), threads,
-                    g_img, g_out, c_flt,
-                    bx * cfg.block_w, by * cfg.block_h,
-                    img_w, oh, ow, k, f_count,
-                )
+        # Opt-in sampling (REPRO_PROFILE=1): the per-block interpreter
+        # loop is the simulator's hottest Python path.
+        from repro.obs.perf.profiler import maybe_profile
+
+        with maybe_profile("simt.special"):
+            for by in range(blocks_y):
+                for bx in range(blocks_x):
+                    ex.run_block(
+                        self._block_program, (bx, by), threads,
+                        g_img, g_out, c_flt,
+                        bx * cfg.block_w, by * cfg.block_h,
+                        img_w, oh, ow, k, f_count,
+                    )
 
         cost = ex.finish(
             name=self.name,

@@ -131,6 +131,9 @@ class FleetStats:
             "latency_p50_s": self._latency.percentile(50),
             "latency_p95_s": self._latency.percentile(95),
             "latency_p99_s": self._latency.percentile(99),
+            # Estimates (not exact order statistics) once the latency
+            # reservoir truncates; see Histogram.is_estimated.
+            "latency_estimated": self._latency.is_estimated(),
             "deadline_misses": self.deadline_misses,
             "deadline_miss_rate": self.deadline_miss_rate,
             "modeled_makespan_s": self.makespan_s,

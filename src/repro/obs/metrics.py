@@ -222,6 +222,34 @@ class Histogram(Metric):
         data = self._series.get(key)
         return data.count if data is not None else 0
 
+    def observed_count(self, **labels) -> int:
+        """Observations ever made on this series (alias of ``count``)."""
+        return self.count(**labels)
+
+    def sample_count(self, **labels) -> int:
+        """Samples actually retained after deterministic decimation.
+
+        Equal to ``observed_count`` until the reservoir fills; smaller
+        afterwards — at which point every sample-derived statistic
+        (quantiles, ``value_counts``) is an estimate, not an exact
+        read.  See :meth:`is_estimated`.
+        """
+        key = self._key(labels)
+        data = self._series.get(key)
+        return len(data.samples) if data is not None else 0
+
+    def is_estimated(self, **labels) -> bool:
+        """True when quantiles are computed from a truncated reservoir.
+
+        ``max_samples`` was exceeded, so ``percentile``/``value_counts``
+        work from a decimated subset of the observations rather than
+        every value seen.  Exporters surface this as ``estimated`` so a
+        reader never mistakes a reservoir estimate for an exact p99.
+        """
+        key = self._key(labels)
+        data = self._series.get(key)
+        return data is not None and data.count != len(data.samples)
+
     def sum(self, **labels) -> float:
         key = self._key(labels)
         data = self._series.get(key)
@@ -249,7 +277,13 @@ class Histogram(Metric):
             raise ObservabilityError("percentile must be in [0, 100]")
         key = self._key(labels)
         data = self._series.get(key)
-        if data is None or not data.samples:
+        if data is None:
+            return 0.0
+        return self._percentile_of(data, q)
+
+    @staticmethod
+    def _percentile_of(data: "_HistogramSeries", q: float) -> float:
+        if not data.samples:
             return 0.0
         ordered = sorted(data.samples)
         if len(ordered) == 1:
@@ -288,12 +322,25 @@ class Histogram(Metric):
         return out
 
     def _collect_series(self, data: _HistogramSeries) -> dict:
-        return {
+        estimated = data.count != len(data.samples)
+        out = {
             "count": data.count,
+            "observed_count": data.count,
+            "sample_count": len(data.samples),
+            "estimated": estimated,
             "sum": data.sum,
             "min": data.min if data.count else 0.0,
             "max": data.max if data.count else 0.0,
         }
+        if estimated:
+            # Quantiles from a truncated reservoir are estimates; say so
+            # next to the numbers a dashboard would read.
+            out["quantiles"] = {
+                "p50": self._percentile_of(data, 50.0),
+                "p95": self._percentile_of(data, 95.0),
+                "p99": self._percentile_of(data, 99.0),
+            }
+        return out
 
 
 class Registry:

@@ -1,0 +1,84 @@
+"""repro.obs.perf — the performance observatory.
+
+Three pieces on top of the metrics registry and span tracer (see
+docs/OBSERVABILITY.md, "Profiling & perf trajectory"):
+
+* :mod:`~repro.obs.perf.profiler` — deterministic span-fold profiler
+  (self/cumulative time per frame, collapsed-stack flamegraph export,
+  Perfetto ``profile`` section) plus the opt-in ``REPRO_PROFILE=1``
+  sampling hooks around the SIMT interpreter and DSE candidate loops;
+* :mod:`~repro.obs.perf.trajectory` — the append-only, schema-versioned
+  ``BENCH_trajectory.json`` database (environment fingerprint,
+  calibration yardstick, legacy ``BENCH_serve.json`` normalization);
+* :mod:`~repro.obs.perf.gate` — baseline comparison with a noise
+  tolerance for wall metrics and a drift check for modeled ones,
+  backing ``repro perf gate`` and the CI ``perf-gate`` job.
+
+The workload suite itself lives in :mod:`repro.obs.perf.suite`; it is
+imported lazily (it pulls in serve/fleet/dse) — ``from repro.obs.perf
+import suite`` when you need it.
+"""
+
+from repro.obs.perf.gate import (
+    ComparisonRow,
+    GateResult,
+    Violation,
+    compare_points,
+    format_comparison,
+    parse_budgets,
+    select_baseline,
+)
+from repro.obs.perf.profiler import (
+    SamplingProfiler,
+    clear_sample_profiles,
+    collapsed_stacks,
+    maybe_profile,
+    parse_collapsed,
+    profiling_enabled,
+    sample_profiles,
+    span_profile,
+)
+from repro.obs.perf.trajectory import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    TRAJECTORY_PATH,
+    append_point,
+    calibrate,
+    environment_fingerprint,
+    is_wall_metric,
+    load_trajectory,
+    make_meta,
+    new_trajectory,
+    normalize_bench_serve,
+    validate_point,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "GateResult",
+    "Violation",
+    "compare_points",
+    "format_comparison",
+    "parse_budgets",
+    "select_baseline",
+    "SamplingProfiler",
+    "clear_sample_profiles",
+    "collapsed_stacks",
+    "maybe_profile",
+    "parse_collapsed",
+    "profiling_enabled",
+    "sample_profiles",
+    "span_profile",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "TRAJECTORY_PATH",
+    "append_point",
+    "calibrate",
+    "environment_fingerprint",
+    "is_wall_metric",
+    "load_trajectory",
+    "make_meta",
+    "new_trajectory",
+    "normalize_bench_serve",
+    "validate_point",
+]

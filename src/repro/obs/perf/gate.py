@@ -1,0 +1,227 @@
+"""Regression gate: compare a suite run against the trajectory baseline.
+
+The gate's contract (``repro perf gate``): load ``BENCH_trajectory.json``,
+pick the most recent baseline point with the same scale (and a
+``perf_suite`` source), compare the current run workload-by-workload,
+and exit non-zero naming the offending workload and budget when any
+metric violates its budget.
+
+Two metric regimes, by the naming convention in
+:mod:`repro.obs.perf.trajectory`:
+
+* **wall metrics** (``wall_s`` / ``*_wall_s``) are noisy and
+  machine-dependent.  Their budget is ``baseline * (1 + tolerance)``,
+  scaled by the ratio of the two points' *calibration* yardsticks, so
+  a slower CI host does not read as a regression but a 2x-slower
+  simulator hot path does.  Only slowdowns violate — getting faster is
+  the roadmap, not a bug.
+* **modeled metrics** (virtual-clock rates, cache hit rates, candidate
+  counts) are deterministic functions of the tree.  Any relative drift
+  beyond ``model_tolerance`` (default 1e-6) violates, in either
+  direction: an intentional model change must re-record the baseline,
+  which is exactly how "every PR ships with its perf delta" stays true.
+
+Explicit ``--budget workload.metric=value`` bounds override the derived
+budget for that metric (upper bound, any metric kind).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.perf.trajectory import is_wall_metric
+
+__all__ = [
+    "ComparisonRow",
+    "Violation",
+    "GateResult",
+    "select_baseline",
+    "compare_points",
+    "format_comparison",
+    "parse_budgets",
+]
+
+#: Default noise tolerance for wall-clock budgets (25% headroom).
+DEFAULT_TOLERANCE = 0.25
+
+#: Default relative drift tolerance for modeled (deterministic) metrics.
+DEFAULT_MODEL_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One metric's baseline-vs-current line in the report."""
+
+    workload: str
+    metric: str
+    kind: str                  # "wall" | "modeled"
+    baseline: float
+    current: float
+    budget: Optional[float]    # the bound actually enforced (None = untracked)
+    violated: bool
+
+    @property
+    def delta_pct(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline) * 100.0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One budget violation, with the message the gate prints."""
+
+    workload: str
+    metric: str
+    message: str
+
+
+@dataclass(frozen=True)
+class GateResult:
+    rows: Tuple[ComparisonRow, ...]
+    violations: Tuple[Violation, ...]
+    calibration_ratio: float
+    baseline_meta: dict
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+def select_baseline(doc: dict, scale: str,
+                    source: str = "perf_suite") -> Optional[dict]:
+    """The most recent point matching ``scale`` (preferring ``source``).
+
+    Falls back to the most recent point of any source at that scale
+    (e.g. the normalized fleet-proof entry) so a fresh database with
+    only legacy points can still gate its overlapping workloads.
+    """
+    candidates = [p for p in doc.get("points", ())
+                  if p["meta"].get("scale") == scale]
+    preferred = [p for p in candidates if p["meta"].get("source") == source]
+    pool = preferred or candidates
+    return pool[-1] if pool else None
+
+
+def parse_budgets(specs) -> Dict[Tuple[str, str], float]:
+    """Parse ``workload.metric=value`` budget overrides."""
+    budgets: Dict[Tuple[str, str], float] = {}
+    for spec in specs or ():
+        target, sep, value = spec.partition("=")
+        workload, dot, metric = target.partition(".")
+        if not sep or not dot or not workload or not metric:
+            raise ObservabilityError(
+                "bad --budget %r; expected workload.metric=value" % spec)
+        try:
+            budgets[(workload, metric)] = float(value)
+        except ValueError:
+            raise ObservabilityError(
+                "bad --budget value %r for %s.%s" % (value, workload, metric))
+    return budgets
+
+
+def compare_points(
+    current: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    model_tolerance: float = DEFAULT_MODEL_TOLERANCE,
+    budgets: Optional[Dict[Tuple[str, str], float]] = None,
+) -> GateResult:
+    """Compare two trajectory points and collect budget violations."""
+    if tolerance < 0:
+        raise ObservabilityError("tolerance cannot be negative")
+    if model_tolerance < 0:
+        raise ObservabilityError("model tolerance cannot be negative")
+    budgets = dict(budgets or {})
+
+    # Wall budgets scale by the hosts' relative speed: a baseline
+    # recorded on a machine twice as fast should not fail here.
+    cal_base = baseline["meta"].get("calibration_s")
+    cal_cur = current["meta"].get("calibration_s")
+    if cal_base and cal_cur and cal_base > 0:
+        calibration_ratio = cal_cur / cal_base
+    else:
+        calibration_ratio = 1.0
+
+    rows: List[ComparisonRow] = []
+    violations: List[Violation] = []
+    base_workloads = baseline.get("workloads", {})
+    for workload, metrics in sorted(current.get("workloads", {}).items()):
+        base_metrics = base_workloads.get(workload)
+        for metric, value in sorted(metrics.items()):
+            explicit = budgets.pop((workload, metric), None)
+            if base_metrics is None or metric not in base_metrics:
+                if explicit is not None and value > explicit:
+                    violations.append(Violation(
+                        workload, metric,
+                        "workload %r metric %r: current %.6g exceeds "
+                        "explicit budget %.6g"
+                        % (workload, metric, value, explicit)))
+                    rows.append(ComparisonRow(
+                        workload, metric, "explicit", float("nan"),
+                        value, explicit, True))
+                continue
+            base_value = float(base_metrics[metric])
+            wall = is_wall_metric(metric)
+            if explicit is not None:
+                budget = explicit
+                violated = value > budget
+                detail = "explicit budget %.6g" % budget
+            elif wall:
+                budget = base_value * (1.0 + tolerance) * calibration_ratio
+                violated = value > budget
+                detail = ("budget %.6gs (baseline %.6gs x %.2f tolerance, "
+                          "calibration x%.3f)"
+                          % (budget, base_value, 1.0 + tolerance,
+                             calibration_ratio))
+            else:
+                scale = max(abs(base_value), 1e-12)
+                budget = None
+                violated = abs(value - base_value) / scale > model_tolerance
+                detail = ("modeled drift budget +/-%.3g relative "
+                          "(baseline %.6g)" % (model_tolerance, base_value))
+            rows.append(ComparisonRow(
+                workload, metric, "wall" if wall else "modeled",
+                base_value, float(value), budget, violated))
+            if violated:
+                violations.append(Violation(
+                    workload, metric,
+                    "workload %r metric %r: current %.6g vs %s"
+                    % (workload, metric, value, detail)))
+    # Budgets naming absent workloads/metrics are configuration errors,
+    # not silent passes.
+    for (workload, metric) in budgets:
+        raise ObservabilityError(
+            "--budget names unknown metric %s.%s (not in the current run)"
+            % (workload, metric))
+    return GateResult(tuple(rows), tuple(violations),
+                      calibration_ratio, dict(baseline.get("meta", {})))
+
+
+def format_comparison(result: GateResult, title: str = "perf gate") -> str:
+    """Human-readable delta table + verdict (the CI job-log payload)."""
+    lines = []
+    meta = result.baseline_meta
+    lines.append("%s: baseline %s@%s (%s, scale=%s), calibration x%.3f"
+                 % (title, meta.get("version", "?"),
+                    meta.get("git_sha", "?"), meta.get("source", "?"),
+                    meta.get("scale", "?"), result.calibration_ratio))
+    header = "%-16s %-22s %-8s %12s %12s %9s  %s" % (
+        "workload", "metric", "kind", "baseline", "current", "delta", "")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in result.rows:
+        delta = row.delta_pct
+        delta_text = ("%+8.1f%%" % delta) if abs(delta) != float("inf") \
+            else "     new"
+        lines.append("%-16s %-22s %-8s %12.6g %12.6g %9s  %s" % (
+            row.workload, row.metric, row.kind, row.baseline, row.current,
+            delta_text, "VIOLATION" if row.violated else "ok"))
+    for violation in result.violations:
+        lines.append("FAIL: %s" % violation.message)
+    lines.append("%s: %s (%d metrics compared, %d violations)"
+                 % (title, "PASS" if result.passed else "FAIL",
+                    len(result.rows), len(result.violations)))
+    return "\n".join(lines)

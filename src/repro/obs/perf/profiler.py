@@ -1,0 +1,373 @@
+"""Deterministic span-fold profiler and the opt-in sampling hook.
+
+Two complementary views of where time goes:
+
+* :func:`span_profile` folds the tracer's **wall-track spans** into
+  per-frame *self time* (time inside a span minus its direct children)
+  and *cumulative time* attribution, plus the aggregated stack table
+  that :func:`collapsed_stacks` renders in Brendan Gregg's
+  collapsed-stack flamegraph format (``frame;frame;frame <value>`` with
+  the value in integer microseconds of self time).  This is fully
+  deterministic: it is a pure function of the spans the run recorded.
+* :class:`SamplingProfiler` / :func:`maybe_profile` is the opt-in,
+  low-overhead statistical view: when ``REPRO_PROFILE=1`` is set, the
+  hooks around the SIMT interpreter and the DSE candidate loops start a
+  background thread that samples the working thread's Python stack at a
+  fixed interval and folds the frames into the same collapsed format
+  (prefixed ``sampled;<tag>;...``), so the hottest *Python frames* —
+  not just the instrumented span boundaries — are visible.
+
+Both feed ``repro perf record --flamegraph`` and the ``profile``
+section of the Perfetto trace (:func:`repro.obs.exporters.chrome_trace`
+with ``profile=True``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.tracing import Tracer, WALL_TRACK
+
+__all__ = [
+    "FrameStat",
+    "span_profile",
+    "collapsed_stacks",
+    "parse_collapsed",
+    "SamplingProfiler",
+    "maybe_profile",
+    "profiling_enabled",
+    "sample_profiles",
+    "clear_sample_profiles",
+    "sampled_collapsed",
+    "PROFILE_ENV",
+    "PROFILE_HZ_ENV",
+]
+
+#: Environment switch for the sampling hooks (truthy values enable).
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: Optional override of the sampling frequency (samples per second).
+PROFILE_HZ_ENV = "REPRO_PROFILE_HZ"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: Comparison slack for span boundaries (spans store float seconds).
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class FrameStat:
+    """Aggregated attribution for one frame across every stack."""
+
+    frame: str
+    calls: int
+    self_s: float
+    cum_s: float
+
+
+def _frame_of(span) -> str:
+    """A span's flamegraph frame: the first token of its name.
+
+    Span names may carry per-instance payloads (``dse:general
+    GeneralCaseConfig(w=32, ...)``); folding on the first token keeps
+    the stack table's cardinality bounded.  Separator characters are
+    replaced so the collapsed format stays parseable.
+    """
+    token = span.name.split()[0] if span.name.split() else span.name
+    return token.replace(";", ":") or "(anonymous)"
+
+
+def _fold_wall_spans(tracer: Tracer):
+    """Attribute self/cumulative time per stack path.
+
+    Wall spans nest by construction (the ``Tracer.span`` context
+    manager records the open-time depth), so parentage is recoverable
+    with one sweep: sort by start time, keep the stack of currently
+    open spans, and charge each span's duration to its parent's
+    child-time accumulator.  Self time is then duration minus direct
+    children.  The whole fold is a pure function of the span list —
+    byte-identical output for identical runs.
+    """
+    spans = [s for s in tracer.spans if s.track == WALL_TRACK]
+    order = sorted(spans, key=lambda s: (s.start_s, s.depth, -s.duration_s))
+    stack: List[list] = []   # [span, child_time, path_tuple]
+    stacks: Dict[Tuple[str, ...], List[float]] = {}   # path -> [self_s, calls]
+    frames: Dict[str, List[float]] = {}               # frame -> [self, cum, calls]
+
+    def close(entry) -> None:
+        span, child_time, path = entry
+        self_s = max(0.0, span.duration_s - child_time)
+        agg = stacks.setdefault(path, [0.0, 0])
+        agg[0] += self_s
+        agg[1] += 1
+        frame = path[-1]
+        stat = frames.setdefault(frame, [0.0, 0.0, 0])
+        stat[0] += self_s
+        stat[2] += 1
+        # Cumulative time counts a span only when its frame is not
+        # already on the ancestor path (the standard recursion guard).
+        if frame not in path[:-1]:
+            stat[1] += span.duration_s
+
+    for span in order:
+        while stack and (span.start_s >= stack[-1][0].end_s - _EPS
+                         or span.depth <= stack[-1][0].depth):
+            close(stack.pop())
+        path = (stack[-1][2] if stack else ()) + (_frame_of(span),)
+        if stack:
+            stack[-1][1] += span.duration_s
+        stack.append([span, 0.0, path])
+    while stack:
+        close(stack.pop())
+    return stacks, frames
+
+
+def span_profile(tracer: Tracer) -> dict:
+    """The deterministic profile document for a tracer's wall spans.
+
+    Returns ``{"clock", "total_s", "frames", "stacks", ...}`` where
+    ``frames`` carries per-frame self/cumulative attribution sorted by
+    self time (descending) and ``stacks`` the aggregated stack table
+    backing the flamegraph.  JSON-serializable; embedded verbatim as
+    the Perfetto trace's ``otherData.profile`` section.
+    """
+    stacks, frames = _fold_wall_spans(tracer)
+    frame_rows = [
+        FrameStat(frame=f, calls=int(c), self_s=s, cum_s=cum)
+        for f, (s, cum, c) in frames.items()
+    ]
+    frame_rows.sort(key=lambda r: (-r.self_s, r.frame))
+    stack_rows = [
+        {"stack": ";".join(path), "self_s": self_s, "calls": int(calls)}
+        for path, (self_s, calls) in stacks.items()
+    ]
+    stack_rows.sort(key=lambda r: (-r["self_s"], r["stack"]))
+    total_s = sum(r["self_s"] for r in stack_rows)
+    return {
+        "clock": "wall",
+        "total_s": total_s,
+        "span_count": sum(1 for s in tracer.spans if s.track == WALL_TRACK),
+        "dropped_spans": tracer.dropped,
+        "frames": [
+            {"frame": r.frame, "calls": r.calls,
+             "self_s": r.self_s, "cum_s": r.cum_s}
+            for r in frame_rows
+        ],
+        "stacks": stack_rows,
+    }
+
+
+def collapsed_stacks(tracer: Tracer, include_samples: bool = True) -> str:
+    """Render the span fold in collapsed-stack flamegraph format.
+
+    One line per aggregated stack: semicolon-separated frames, a single
+    space, then the stack's self time in integer microseconds.  Any
+    flamegraph tool that eats ``stackcollapse-*`` output renders it.
+    With ``include_samples`` (the default), stacks collected by the
+    ``REPRO_PROFILE=1`` sampling hooks are appended under a
+    ``sampled;<tag>`` root with sample counts as values.
+    """
+    profile = span_profile(tracer)
+    lines = []
+    for row in profile["stacks"]:
+        value = int(round(row["self_s"] * 1e6))
+        if value > 0:
+            lines.append("%s %d" % (row["stack"], value))
+    if include_samples:
+        lines.extend(sampled_collapsed())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_collapsed(text: str) -> Dict[Tuple[str, ...], int]:
+    """Parse collapsed-stack text back into ``{frames: value}``.
+
+    The round-trip partner of :func:`collapsed_stacks`; raises
+    ``ValueError`` on a malformed line so tests can assert the export
+    validates as collapsed-stack format.
+    """
+    out: Dict[Tuple[str, ...], int] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        stack, sep, value = line.rpartition(" ")
+        if not sep or not stack:
+            raise ValueError("line %d is not 'stack value': %r" % (lineno, raw))
+        try:
+            count = int(value)
+        except ValueError:
+            raise ValueError("line %d has a non-integer value: %r"
+                             % (lineno, raw))
+        if count < 0:
+            raise ValueError("line %d has a negative value: %r" % (lineno, raw))
+        frames = tuple(stack.split(";"))
+        if any(not f for f in frames):
+            raise ValueError("line %d has an empty frame: %r" % (lineno, raw))
+        out[frames] = out.get(frames, 0) + count
+    return out
+
+
+# ----------------------------------------------------------------------
+# Opt-in sampling profiler (REPRO_PROFILE=1)
+# ----------------------------------------------------------------------
+
+def profiling_enabled() -> bool:
+    """True when the ``REPRO_PROFILE`` environment switch is set."""
+    return os.environ.get(PROFILE_ENV, "").strip().lower() in _TRUTHY
+
+
+def _sample_interval_s() -> float:
+    try:
+        hz = float(os.environ.get(PROFILE_HZ_ENV, "") or 200.0)
+    except ValueError:
+        hz = 200.0
+    return 1.0 / max(1.0, hz)
+
+
+class SamplingProfiler:
+    """Background-thread stack sampler for one working thread.
+
+    Samples the target thread's Python frames via
+    ``sys._current_frames()`` at a fixed interval and folds them into
+    ``{(root, ..., leaf): count}``.  Overhead is one dictionary update
+    per interval — the worked code is never instrumented, which is the
+    point: it stays cheap enough to leave on around the SIMT
+    interpreter's per-warp loops.
+    """
+
+    def __init__(self, interval_s: Optional[float] = None,
+                 max_depth: int = 64,
+                 target_thread_id: Optional[int] = None):
+        self.interval_s = interval_s if interval_s else _sample_interval_s()
+        self.max_depth = max_depth
+        self.target_thread_id = target_thread_id
+        self.samples: Dict[Tuple[str, ...], int] = {}
+        self.sample_count = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _frame_label(frame) -> str:
+        code = frame.f_code
+        module = os.path.basename(code.co_filename)
+        if module.endswith(".py"):
+            module = module[:-3]
+        return ("%s:%s" % (module, code.co_name)).replace(";", ":")
+
+    def _take_sample(self) -> None:
+        frame = sys._current_frames().get(self.target_thread_id)
+        if frame is None:
+            return
+        frames: List[str] = []
+        depth = 0
+        while frame is not None and depth < self.max_depth:
+            frames.append(self._frame_label(frame))
+            frame = frame.f_back
+            depth += 1
+        stack = tuple(reversed(frames))
+        self.samples[stack] = self.samples.get(stack, 0) + 1
+        self.sample_count += 1
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._take_sample()
+            self._stop.wait(self.interval_s)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            return self
+        if self.target_thread_id is None:
+            self.target_thread_id = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-sampling-profiler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> Dict[Tuple[str, ...], int]:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        return self.samples
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+
+# Process-global store the opt-in hooks accumulate into, keyed by hook
+# tag; `repro perf record --flamegraph` drains it into the export.
+_sample_store: Dict[str, Dict[Tuple[str, ...], int]] = {}
+_store_lock = threading.Lock()
+
+
+class _NullProfile:
+    """What :func:`maybe_profile` yields when profiling is disabled."""
+
+    sample_count = 0
+    samples: Dict[Tuple[str, ...], int] = {}
+
+
+class maybe_profile:
+    """Context manager: sample the calling thread iff ``REPRO_PROFILE=1``.
+
+    The zero-cost default path is one environment lookup; when enabled,
+    a :class:`SamplingProfiler` runs for the duration of the block and
+    its folded samples merge into the process-global store under
+    ``tag`` (readable via :func:`sample_profiles` /
+    :func:`sampled_collapsed`).
+    """
+
+    def __init__(self, tag: str, interval_s: Optional[float] = None):
+        self.tag = tag
+        self.interval_s = interval_s
+        self._profiler: Optional[SamplingProfiler] = None
+
+    def __enter__(self):
+        if not profiling_enabled():
+            return _NullProfile()
+        self._profiler = SamplingProfiler(interval_s=self.interval_s)
+        return self._profiler.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._profiler is not None:
+            samples = self._profiler.stop()
+            with _store_lock:
+                bucket = _sample_store.setdefault(self.tag, {})
+                for stack, count in samples.items():
+                    bucket[stack] = bucket.get(stack, 0) + count
+            self._profiler = None
+        return False
+
+
+def sample_profiles() -> Dict[str, Dict[Tuple[str, ...], int]]:
+    """Copy of the accumulated ``{tag: {stack: sample count}}`` store."""
+    with _store_lock:
+        return {tag: dict(stacks) for tag, stacks in _sample_store.items()}
+
+
+def clear_sample_profiles() -> None:
+    with _store_lock:
+        _sample_store.clear()
+
+
+def sampled_collapsed() -> List[str]:
+    """The sampling store as collapsed-stack lines (counts as values)."""
+    lines: List[str] = []
+    store = sample_profiles()
+    for tag in sorted(store):
+        for stack, count in sorted(store[tag].items()):
+            frames = ("sampled", tag.replace(";", ":")) + stack
+            lines.append("%s %d" % (";".join(frames), count))
+    return lines

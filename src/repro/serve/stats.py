@@ -150,6 +150,10 @@ class ServeStats:
             "latency_p50_s": self._latency.percentile(50),
             "latency_p95_s": self._latency.percentile(95),
             "latency_p99_s": self._latency.percentile(99),
+            # True when the latency reservoir truncated: the quantiles
+            # above are then estimates from a decimated sample, not
+            # exact order statistics over every request.
+            "latency_estimated": self._latency.is_estimated(),
             "requests_per_backend": {
                 labels["backend"]: int(round(value))
                 for labels, value in self._requests.series()

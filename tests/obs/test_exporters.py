@@ -143,6 +143,55 @@ class TestPrometheusRoundTrip:
         with pytest.raises(ObservabilityError):
             parse_prometheus('m{k="v"} not_a_number\n')
 
+    @pytest.mark.parametrize("tricky", [
+        'back\\slash',
+        'double \\\\ backslash',
+        'trailing backslash \\',
+        'quote"inside',
+        '"fully quoted"',
+        'newline\nin the middle',
+        'ends with newline\n',
+        'all \\ of " them \n at once',
+        '\\n literal-backslash-n (not a newline)',
+    ], ids=["backslash", "double-backslash", "trailing-backslash", "quote",
+            "quoted", "newline", "trailing-newline", "combined",
+            "literal-backslash-n"])
+    def test_special_label_values_round_trip(self, tricky):
+        reg = Registry()
+        reg.counter("c_total", labelnames=("k",)).inc(2, k=tricky)
+        parsed = parse_prometheus(to_prometheus(reg))
+        assert parsed[("c_total", (("k", tricky),))] == 2.0
+
+    def test_escaped_values_stay_single_line(self):
+        reg = Registry()
+        reg.gauge("g", labelnames=("k",)).set(1, k="two\nlines \\ and \"q\"")
+        text = to_prometheus(reg)
+        series_lines = [l for l in text.splitlines() if l.startswith("g{")]
+        assert len(series_lines) == 1
+
+    def test_multi_series_histogram_expansion_reparses(self):
+        reg = Registry()
+        h = reg.histogram("latency_seconds", "Latency",
+                          labelnames=("backend",), buckets=(0.01, 0.1))
+        for v in (0.005, 0.05, 0.5):
+            h.observe(v, backend="special")
+        h.observe(0.05, backend='nai"ve\\')
+        parsed = parse_prometheus(to_prometheus(reg))
+        special = (("backend", "special"),)
+        assert parsed[("latency_seconds_count", special)] == 3.0
+        assert parsed[("latency_seconds_sum", special)] == pytest.approx(0.555)
+        # Bucket lines interleave the le label with the series labels.
+        assert parsed[("latency_seconds_bucket",
+                       (("backend", "special"), ("le", "0.01")))] == 1.0
+        assert parsed[("latency_seconds_bucket",
+                       (("backend", "special"), ("le", "0.1")))] == 2.0
+        assert parsed[("latency_seconds_bucket",
+                       (("backend", "special"), ("le", "+Inf")))] == 3.0
+        tricky = (("backend", 'nai"ve\\'),)
+        assert parsed[("latency_seconds_count", tricky)] == 1.0
+        assert parsed[("latency_seconds_bucket",
+                       (("backend", 'nai"ve\\'), ("le", "+Inf")))] == 1.0
+
 
 class TestRegistryJson:
     def test_versioned_document(self):

@@ -130,6 +130,70 @@ class TestHistogram:
             Histogram("x", buckets=(1.0, 1.0, 2.0))
 
 
+class TestHistogramTruncation:
+    """Reservoir-truncated quantiles must say they are estimates."""
+
+    def test_exact_until_reservoir_fills(self):
+        h = Histogram("x", max_samples=64)
+        for v in range(64):
+            h.observe(float(v))
+        assert h.observed_count() == h.sample_count() == 64
+        assert h.is_estimated() is False
+        series = h.collect()["series"][0]["value"]
+        assert series["estimated"] is False
+        assert series["observed_count"] == series["sample_count"] == 64
+        assert "quantiles" not in series
+
+    def test_observed_vs_sample_count_diverge_after_truncation(self):
+        h = Histogram("x", max_samples=64)
+        for v in range(1000):
+            h.observe(float(v))
+        assert h.observed_count() == 1000
+        assert h.sample_count() < 1000
+        assert h.is_estimated() is True
+        # count stays the true observation count, never the reservoir's.
+        assert h.count() == 1000
+
+    def test_collect_marks_estimated_quantiles(self):
+        h = Histogram("x", max_samples=64)
+        for v in range(1000):
+            h.observe(float(v))
+        series = h.collect()["series"][0]["value"]
+        assert series["estimated"] is True
+        assert series["observed_count"] == 1000
+        assert series["sample_count"] == h.sample_count()
+        q = series["quantiles"]
+        assert q["p50"] == pytest.approx(500, rel=0.2)
+        assert q["p50"] <= q["p95"] <= q["p99"]
+
+    def test_estimated_is_per_labeled_series(self):
+        h = Histogram("x", labelnames=("k",), max_samples=64)
+        for v in range(1000):
+            h.observe(float(v), k="big")
+        h.observe(1.0, k="small")
+        assert h.is_estimated(k="big") is True
+        assert h.is_estimated(k="small") is False
+        by_labels = {
+            s["labels"]["k"]: s["value"] for s in h.collect()["series"]}
+        assert by_labels["big"]["estimated"] is True
+        assert by_labels["small"]["estimated"] is False
+
+    def test_untouched_series_not_estimated(self):
+        h = Histogram("x")
+        assert h.is_estimated() is False
+        assert h.observed_count() == h.sample_count() == 0
+
+    def test_serve_and_fleet_snapshots_expose_the_flag(self):
+        from repro.fleet.slo import FleetStats
+        from repro.serve.stats import ServeStats
+
+        serve = ServeStats(clock_hz=1e9)
+        serve.record_latency(1e-3)
+        assert serve.snapshot()["latency_estimated"] is False
+        fleet = FleetStats()
+        assert fleet.snapshot(n_replicas=1)["latency_estimated"] is False
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_metric(self):
         reg = Registry()

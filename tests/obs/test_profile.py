@@ -1,0 +1,198 @@
+"""Deterministic span-fold profiler and the opt-in sampling hooks."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import Tracer, chrome_trace, validate_chrome_trace
+from repro.obs.perf.profiler import (
+    SamplingProfiler,
+    clear_sample_profiles,
+    collapsed_stacks,
+    maybe_profile,
+    parse_collapsed,
+    profiling_enabled,
+    sample_profiles,
+    sampled_collapsed,
+    span_profile,
+)
+from repro.obs.tracing import WALL_TRACK
+
+
+def _add_wall(tracer, name, start_s, duration_s, depth):
+    tracer.add_span(name, "test", start_s=start_s, duration_s=duration_s,
+                    track=WALL_TRACK, depth=depth)
+
+
+def _nested_tracer() -> Tracer:
+    """outer [0,10) with children inner [1,4) and inner [5,7);
+    the first inner has a leaf child [2,3)."""
+    tracer = Tracer()
+    _add_wall(tracer, "outer", 0.0, 10.0, depth=0)
+    _add_wall(tracer, "inner", 1.0, 3.0, depth=1)
+    _add_wall(tracer, "leaf", 2.0, 1.0, depth=2)
+    _add_wall(tracer, "inner", 5.0, 2.0, depth=1)
+    return tracer
+
+
+class TestSpanFold:
+    def test_self_time_subtracts_direct_children(self):
+        profile = span_profile(_nested_tracer())
+        frames = {f["frame"]: f for f in profile["frames"]}
+        # outer: 10 total - 3 - 2 children = 5 self.
+        assert frames["outer"]["self_s"] == pytest.approx(5.0)
+        assert frames["outer"]["cum_s"] == pytest.approx(10.0)
+        # inner aggregates both instances: (3 - 1 leaf) + 2 = 4 self.
+        assert frames["inner"]["self_s"] == pytest.approx(4.0)
+        assert frames["inner"]["cum_s"] == pytest.approx(5.0)
+        assert frames["inner"]["calls"] == 2
+        assert frames["leaf"]["self_s"] == pytest.approx(1.0)
+        assert profile["total_s"] == pytest.approx(10.0)
+
+    def test_stack_paths(self):
+        profile = span_profile(_nested_tracer())
+        stacks = {row["stack"]: row for row in profile["stacks"]}
+        assert set(stacks) == {"outer", "outer;inner", "outer;inner;leaf"}
+        assert stacks["outer;inner"]["calls"] == 2
+        assert stacks["outer;inner"]["self_s"] == pytest.approx(4.0)
+
+    def test_recursion_counts_cumulative_once(self):
+        tracer = Tracer()
+        _add_wall(tracer, "f", 0.0, 4.0, depth=0)
+        _add_wall(tracer, "f", 1.0, 2.0, depth=1)
+        profile = span_profile(tracer)
+        frames = {f["frame"]: f for f in profile["frames"]}
+        # Self times still partition the wall (2 + 2) but the recursive
+        # instance must not double the cumulative attribution.
+        assert frames["f"]["self_s"] == pytest.approx(4.0)
+        assert frames["f"]["cum_s"] == pytest.approx(4.0)
+        assert frames["f"]["calls"] == 2
+
+    def test_frame_name_folds_payload_token(self):
+        tracer = Tracer()
+        _add_wall(tracer, "dse:general GeneralCaseConfig(w=32)", 0.0, 1.0, 0)
+        _add_wall(tracer, "dse:general GeneralCaseConfig(w=64)", 2.0, 1.0, 0)
+        profile = span_profile(tracer)
+        assert len(profile["frames"]) == 1
+        assert profile["frames"][0]["frame"] == "dse:general"
+        assert profile["frames"][0]["calls"] == 2
+
+    def test_virtual_spans_are_excluded(self):
+        tracer = Tracer()
+        _add_wall(tracer, "host", 0.0, 1.0, depth=0)
+        tracer.add_span("device", "kernel", start_s=0.0, duration_s=9.0)
+        profile = span_profile(tracer)
+        assert [f["frame"] for f in profile["frames"]] == ["host"]
+
+    def test_live_tracer_spans_fold(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.001)
+        profile = span_profile(tracer)
+        frames = {f["frame"]: f for f in profile["frames"]}
+        assert frames["inner"]["cum_s"] >= 0.001
+        assert frames["outer"]["cum_s"] >= frames["inner"]["cum_s"]
+
+
+class TestCollapsedFormat:
+    def test_round_trip(self):
+        text = collapsed_stacks(_nested_tracer(), include_samples=False)
+        stacks = parse_collapsed(text)
+        assert stacks[("outer",)] == 5_000_000
+        assert stacks[("outer", "inner")] == 4_000_000
+        assert stacks[("outer", "inner", "leaf")] == 1_000_000
+
+    def test_zero_self_stacks_are_dropped(self):
+        tracer = Tracer()
+        _add_wall(tracer, "shell", 0.0, 1.0, depth=0)
+        _add_wall(tracer, "work", 0.0, 1.0, depth=1)
+        stacks = parse_collapsed(
+            collapsed_stacks(tracer, include_samples=False))
+        assert ("shell",) not in stacks
+        assert stacks[("shell", "work")] == 1_000_000
+
+    @pytest.mark.parametrize("bad", [
+        "no-value-line",
+        "stack notanumber",
+        "stack -3",
+        ";empty;frame 5",
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_collapsed(bad)
+
+
+class TestChromeTraceProfile:
+    def test_profile_section_embeds_and_validates(self):
+        tracer = _nested_tracer()
+        doc = chrome_trace(tracer, profile=True)
+        validate_chrome_trace(doc)
+        profile = doc["otherData"]["profile"]
+        assert profile["clock"] == "wall"
+        assert profile["span_count"] == 4
+        json.dumps(profile)   # must stay JSON-serializable
+
+    def test_profile_section_absent_by_default(self):
+        doc = chrome_trace(_nested_tracer())
+        validate_chrome_trace(doc)
+        assert "profile" not in doc.get("otherData", {})
+
+
+def _spin(deadline_s):
+    end = time.perf_counter() + deadline_s
+    total = 0
+    while time.perf_counter() < end:
+        total += 1
+    return total
+
+
+class TestSamplingProfiler:
+    def test_samples_the_calling_thread(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        with profiler:
+            _spin(0.05)
+        assert profiler.sample_count > 0
+        stacks = profiler.stop()
+        leaves = {stack[-1] for stack in stacks}
+        assert any("test_profile" in leaf for leaf in leaves)
+
+    def test_maybe_profile_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        clear_sample_profiles()
+        assert not profiling_enabled()
+        with maybe_profile("tag") as handle:
+            _spin(0.005)
+        assert handle.sample_count == 0
+        assert sample_profiles() == {}
+
+    def test_maybe_profile_enabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        clear_sample_profiles()
+        try:
+            assert profiling_enabled()
+            with maybe_profile("simt.test", interval_s=0.001):
+                _spin(0.05)
+            store = sample_profiles()
+            assert "simt.test" in store
+            assert sum(store["simt.test"].values()) > 0
+            lines = sampled_collapsed()
+            assert lines and all(
+                line.startswith("sampled;simt.test;") for line in lines)
+            parse_collapsed("\n".join(lines))
+        finally:
+            clear_sample_profiles()
+
+    def test_sampled_stacks_ride_the_collapsed_export(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "yes")
+        clear_sample_profiles()
+        try:
+            with maybe_profile("hook", interval_s=0.001):
+                _spin(0.03)
+            text = collapsed_stacks(_nested_tracer())
+            stacks = parse_collapsed(text)
+            assert any(stack[0] == "sampled" for stack in stacks)
+            assert ("outer",) in stacks
+        finally:
+            clear_sample_profiles()

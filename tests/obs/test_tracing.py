@@ -152,3 +152,82 @@ class TestInstrument:
             return x * 2
 
         assert f(21) == 42
+
+
+class TestInstrumentErrorPath:
+    """An exception must count exactly once, close the span, re-raise."""
+
+    def _surfaces(self):
+        from repro.obs import Registry
+
+        return Registry(), Tracer()
+
+    def test_context_manager_counts_error_exactly_once(self):
+        registry, tracer = self._surfaces()
+        with pytest.raises(KeyError):
+            with instrument("step", registry=registry, tracer=tracer):
+                raise KeyError("missing")
+        counter = registry.counter("step_calls_total",
+                                   labelnames=("status",))
+        assert counter.value(status="error") == 1
+        assert counter.value(status="ok") == 0
+        assert counter.total() == 1
+
+    def test_context_manager_closes_span_and_reraises(self):
+        registry, tracer = self._surfaces()
+        original = ValueError("boom")
+        with pytest.raises(ValueError) as caught:
+            with instrument("step", registry=registry, tracer=tracer):
+                raise original
+        assert caught.value is original       # not wrapped or swallowed
+        assert len(tracer.spans) == 1         # span closed despite the raise
+        span = tracer.spans[0]
+        assert span.args["error"] == "ValueError"
+        assert span.duration_s >= 0.0
+        # The duration still lands in the histogram.
+        assert registry.histogram("step_seconds").count() == 1
+
+    def test_decorator_counts_error_exactly_once_and_reraises(self):
+        registry, tracer = self._surfaces()
+
+        @instrument("job", registry=registry, tracer=tracer)
+        def fails():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            fails()
+        counter = registry.counter("job_calls_total", labelnames=("status",))
+        assert counter.value(status="error") == 1
+        assert counter.total() == 1
+        assert len(tracer.spans) == 1
+
+    def test_mixed_outcomes_split_by_status(self):
+        registry, tracer = self._surfaces()
+
+        @instrument("job", registry=registry, tracer=tracer)
+        def maybe(fail):
+            if fail:
+                raise RuntimeError("nope")
+            return "ok"
+
+        assert maybe(False) == "ok"
+        with pytest.raises(RuntimeError):
+            maybe(True)
+        assert maybe(False) == "ok"
+        counter = registry.counter("job_calls_total", labelnames=("status",))
+        assert counter.value(status="ok") == 2
+        assert counter.value(status="error") == 1
+        assert registry.histogram("job_seconds").count() == 3
+        assert len(tracer.spans) == 3
+
+    def test_nested_error_closes_both_spans(self):
+        registry, tracer = self._surfaces()
+        with pytest.raises(RuntimeError):
+            with instrument("outer", registry=registry, tracer=tracer):
+                with instrument("inner", registry=registry, tracer=tracer):
+                    raise RuntimeError("deep")
+        by_name = {s.name: s for s in tracer.spans}
+        assert set(by_name) == {"outer", "inner"}
+        assert by_name["inner"].depth == 1
+        assert by_name["outer"].args["error"] == "RuntimeError"
+        assert by_name["inner"].args["error"] == "RuntimeError"
