@@ -17,6 +17,7 @@ to the trajectory database.  The CI ``perf-gate`` job runs this with
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -43,8 +44,15 @@ def main(argv=None):
                         help="free-form note stored in the point's meta")
     parser.add_argument("--jobs", type=int, default=None,
                         help="sweep fan-out degree (default: REPRO_JOBS)")
+    parser.add_argument("--audit", action="store_true",
+                        help="set REPRO_AUDIT=1 for the run: the simulator "
+                        "workload re-runs the interpreted SIMT oracle and "
+                        "fails on any divergence (slower; use for audited "
+                        "legs, not recorded baselines)")
     args = parser.parse_args(argv)
     scale = "ci" if args.ci_scale else args.scale
+    if args.audit:
+        os.environ["REPRO_AUDIT"] = "1"
 
     from repro import obs
     from repro.obs.perf import append_point, collapsed_stacks

@@ -22,6 +22,9 @@
     python -m repro perf report              # trajectory points + deltas
     python -m repro perf diff -- -2 -1       # delta between two points
     python -m repro perf gate --tolerance 0.25   # CI regression gate
+    python -m repro audit                    # fastsim vs interpreted oracle
+    python -m repro audit --arch fermi --case general --trials 8
+    python -m repro perf gate --audit        # gate with the oracle engaged
 
 Tables are printed to stdout (the same renderer the benchmark suite
 uses to fill ``benchmarks/output/``).
@@ -30,8 +33,10 @@ uses to fill ``benchmarks/output/``).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import inspect
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -178,6 +183,23 @@ def build_parser() -> argparse.ArgumentParser:
     claims.add_argument("ids", nargs="*",
                         help="claim ids to check (default: all)")
 
+    audit = sub.add_parser(
+        "audit", help="cross-check the fast trace generators "
+        "(repro.gpu.fastsim) against the interpreted SIMT oracle: every "
+        "trial must produce a byte-identical KernelCost and output")
+    audit.add_argument("--case", choices=("special", "general", "both"),
+                       default="both",
+                       help="which kernel pair(s) to audit (default: both)")
+    audit.add_argument("--arch", choices=sorted(ARCHITECTURES),
+                       default="kepler")
+    audit.add_argument("--trials", type=int, default=4, metavar="N",
+                       help="randomized aligned shapes per case and bank "
+                       "policy (default: 4)")
+    audit.add_argument("--seed", type=int, default=0,
+                       help="seed for the shape generator")
+    audit.add_argument("--json", action="store_true",
+                       help="emit per-trial records as JSON")
+
     perf = sub.add_parser(
         "perf", help="performance observatory: record, inspect, and gate "
         "the perf trajectory (docs/OBSERVABILITY.md)")
@@ -210,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "trajectory file untouched")
     record.add_argument("--json", action="store_true",
                         help="emit the recorded point as JSON")
+    record.add_argument("--audit", action="store_true",
+                        help="set REPRO_AUDIT=1 for the suite run: the "
+                        "simulator workload re-runs the interpreted SIMT "
+                        "oracle and fails on any divergence")
     _add_trajectory_flag(record)
     _add_jobs_flag(record)
 
@@ -254,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
                       "flamegraph")
     gate.add_argument("--json", action="store_true",
                       help="emit the comparison result as JSON")
+    gate.add_argument("--audit", action="store_true",
+                      help="set REPRO_AUDIT=1 for the suite run: the "
+                      "simulator workload re-runs the interpreted SIMT "
+                      "oracle and fails on any divergence")
     _add_trajectory_flag(gate)
     _add_jobs_flag(gate)
     return parser
@@ -697,6 +727,93 @@ def _cmd_claims(args) -> int:
     return 0 if all(r.supported for _, r in pairs) else 1
 
 
+#: The general-case tile audited by ``repro audit``: small enough to fit
+#: every supported architecture's register/smem limits (the repo default,
+#: tuned for Kepler, is infeasible on Fermi).
+_AUDIT_GENERAL_CONFIG = dict(w=16, h=4, ftb=8, wt=8, ft=2, csh=1)
+
+
+def _cmd_audit(args) -> int:
+    import numpy as np
+
+    from repro.core.config import GeneralCaseConfig
+    from repro.errors import AuditMismatchError
+    from repro.gpu.fastsim import FastGeneralKernel, FastSpecialKernel
+    from repro.gpu.memory import BankConflictPolicy
+
+    arch = ARCHITECTURES[args.arch]
+    cases = ("special", "general") if args.case == "both" else (args.case,)
+    policies = (BankConflictPolicy.WORD_MERGE, BankConflictPolicy.PAPER)
+    rng = np.random.default_rng(args.seed)
+    records = []
+    failures = 0
+    for case in cases:
+        for policy in policies:
+            for trial in range(max(1, args.trials)):
+                k = int(rng.choice((3, 5)))
+                if case == "special":
+                    kern = FastSpecialKernel(arch, bank_policy=policy)
+                    cfg = kern.config
+                    oh = cfg.block_h * int(rng.integers(1, 4))
+                    ow = cfg.block_w * int(rng.integers(1, 3))
+                    image = rng.standard_normal(
+                        (oh + k - 1, ow + k - 1)).astype(np.float32)
+                    filters = rng.standard_normal(
+                        (int(rng.integers(1, 5)), k, k)).astype(np.float32)
+                else:
+                    cfg = GeneralCaseConfig(**_AUDIT_GENERAL_CONFIG)
+                    kern = FastGeneralKernel(arch, config=cfg,
+                                             bank_policy=policy)
+                    oh = cfg.h * int(rng.integers(1, 4))
+                    ow = cfg.w * int(rng.integers(1, 3))
+                    channels = int(rng.integers(1, 4)) * cfg.csh
+                    f_count = int(rng.integers(1, 3)) * cfg.ftb
+                    image = rng.standard_normal(
+                        (channels, oh + k - 1, ow + k - 1)).astype(np.float32)
+                    filters = rng.standard_normal(
+                        (f_count, channels, k, k)).astype(np.float32)
+                record = {
+                    "case": case,
+                    "policy": policy.value,
+                    "trial": trial,
+                    "kernel": kern.name,
+                    "image": list(image.shape),
+                    "filters": list(filters.shape),
+                }
+                try:
+                    _, cost = kern.run_traced(image, filters, audit=True)
+                except AuditMismatchError as exc:
+                    failures += 1
+                    record["ok"] = False
+                    record["error"] = str(exc)
+                    print("AUDIT FAIL %s/%s trial %d: %s"
+                          % (case, policy.value, trial, exc), file=sys.stderr)
+                else:
+                    record["ok"] = True
+                    record["cycles"] = float(cost.ledger.smem_cycles)
+                    record["gmem_transactions"] = float(
+                        cost.ledger.gmem_read_transactions
+                        + cost.ledger.gmem_write_transactions)
+                records.append(record)
+    if args.json:
+        print(json.dumps({
+            "arch": args.arch,
+            "seed": args.seed,
+            "trials": records,
+            "failures": failures,
+        }, indent=2, sort_keys=True))
+    else:
+        for rec in records:
+            status = "ok" if rec["ok"] else "MISMATCH"
+            print("%-8s %-10s trial %d  image=%-16s filters=%-16s %s"
+                  % (rec["case"], rec["policy"], rec["trial"],
+                     "x".join(map(str, rec["image"])),
+                     "x".join(map(str, rec["filters"])), status))
+        print("audit: %d trial(s), %d mismatch(es) on %s"
+              % (len(records), failures, ARCHITECTURES[args.arch].name))
+    return 1 if failures else 0
+
+
 def _perf_delta_rows(baseline: dict, current: dict):
     """Baseline-vs-current rows over shared metrics, nothing enforced."""
     from repro.obs import perf
@@ -739,6 +856,25 @@ def _perf_point_line(index: int, point: dict) -> str:
                meta.get("version", "?"), meta.get("git_sha", "?"), tags))
 
 
+@contextlib.contextmanager
+def _audit_env(enabled: bool):
+    """Set REPRO_AUDIT=1 around a suite run, restoring the prior value."""
+    from repro.gpu.fastsim import AUDIT_ENV
+
+    if not enabled:
+        yield
+        return
+    prior = os.environ.get(AUDIT_ENV)
+    os.environ[AUDIT_ENV] = "1"
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop(AUDIT_ENV, None)
+        else:
+            os.environ[AUDIT_ENV] = prior
+
+
 def _perf_record(args) -> int:
     from repro import obs
     from repro.obs import perf
@@ -746,9 +882,10 @@ def _perf_record(args) -> int:
 
     obs.reset_registry()
     tracer = obs.reset_tracer()
-    point = perf_suite.run_suite(
-        scale=args.scale, jobs=_resolve_jobs_arg(args), note=args.note,
-        progress=lambda msg: print(msg, file=sys.stderr))
+    with _audit_env(args.audit):
+        point = perf_suite.run_suite(
+            scale=args.scale, jobs=_resolve_jobs_arg(args), note=args.note,
+            progress=lambda msg: print(msg, file=sys.stderr))
     if args.flamegraph:
         with open(args.flamegraph, "w") as fh:
             fh.write(perf.collapsed_stacks(tracer))
@@ -884,9 +1021,10 @@ def _perf_gate(args) -> int:
         tracer = obs.reset_tracer()
         from repro.obs.perf import suite as perf_suite
 
-        current = perf_suite.run_suite(
-            scale=args.scale, jobs=_resolve_jobs_arg(args),
-            progress=lambda msg: print(msg, file=sys.stderr))
+        with _audit_env(args.audit):
+            current = perf_suite.run_suite(
+                scale=args.scale, jobs=_resolve_jobs_arg(args),
+                progress=lambda msg: print(msg, file=sys.stderr))
         if args.flamegraph:
             with open(args.flamegraph, "w") as fh:
                 fh.write(perf.collapsed_stacks(tracer))
@@ -954,6 +1092,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_backends(args)
         if args.command == "claims":
             return _cmd_claims(args)
+        if args.command == "audit":
+            return _cmd_audit(args)
         if args.command == "perf":
             return _cmd_perf(args)
     except ParallelError as exc:

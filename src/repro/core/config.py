@@ -151,6 +151,14 @@ class GeneralCaseConfig:
             raise ConfigurationError(
                 "wt, ft and w must be divisible by the vector width n=%d" % n
             )
+        if self.wt + kernel_size - 1 < n:
+            # The per-thread register row of wt + k - 1 pixels must hold
+            # at least one vector unit, or the kernel's overlapping tail
+            # load has nothing in range to clamp back to.
+            raise ConfigurationError(
+                "register row wt+k-1=%d is narrower than one vector unit n=%d"
+                % (self.wt + kernel_size - 1, n)
+            )
         if self.threads % warp_size:
             raise ConfigurationError(
                 "%d threads per block is not a whole number of warps" % self.threads

@@ -22,6 +22,7 @@ that it is cheap enough to leave unoptimized.
 
 from __future__ import annotations
 
+import functools
 import math
 from typing import Optional
 
@@ -36,7 +37,12 @@ from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.gpu.memory.banks import BankConflictPolicy
 from repro.gpu.simt import Dim3, LaunchConfig
 from repro.gpu.timing import TimingBreakdown, TimingModel
-from repro.gpu.trace import KernelCost, KernelTracer, cross_block_reuse
+from repro.gpu.trace import (
+    KernelCost,
+    KernelTracer,
+    cross_block_reuse,
+    prepare_batch,
+)
 
 __all__ = ["GeneralCaseKernel", "default_config_for", "SMALL_IMAGE_CONFIGS"]
 
@@ -271,9 +277,14 @@ class GeneralCaseKernel:
         cfg = self.config_for(valid)
         k = valid.kernel_size
         n = self.n
-        launch = self.launch_config(problem)
         grid = BlockGrid(valid, cfg.block_spec())
         fgroups = math.ceil(valid.filters / cfg.ftb)
+        launch = LaunchConfig(
+            grid=Dim3(x=fgroups, y=grid.total_blocks),
+            block=Dim3(x=cfg.tx, y=cfg.ty),
+            registers_per_thread=cfg.registers_per_thread(k, n),
+            smem_per_block=cfg.smem_bytes(k, n, self.elem_bytes),
+        )
         blocks = float(grid.total_blocks * fgroups)
         threads = cfg.threads
         warps = math.ceil(threads / self.arch.warp_size)
@@ -321,27 +332,23 @@ class GeneralCaseKernel:
         # and weight them by frequency (this makes the sector count
         # exact, as the interpreter audit verifies).
         seg = KernelTracer.SECTOR_BYTES
-        base_counts = {}
-        for f_idx in range(cfg.ftb):
-            for c_lo in range(0, c_total, cfg.csh):
-                b = (f_idx * stride + c_lo * k * k * elem) % seg
-                base_counts[b] = base_counts.get(b, 0) + 1
-        for base, freq in sorted(base_counts.items()):
+        base_values, base_freqs = _filter_base_alignments(
+            cfg.ftb, stride, cfg.csh * k * k * elem, chunks, seg)
+        scalar_lanes = lanes * elem
+        full_reqs, rem = divmod(run_floats, warp_lanes)
+        for base, freq in zip(base_values, base_freqs):
             # A run of CSH*K*K scalars splits into full-warp requests
             # plus one remainder request with the leftover lanes.
-            full_reqs, rem = divmod(run_floats, warp_lanes)
             if full_reqs:
-                pattern = base + np.arange(warp_lanes, dtype=np.int64) * elem
                 tracer.gmem_read(
-                    pattern, elem,
+                    base + scalar_lanes, elem,
                     count=float(full_reqs) * freq * blocks,
                     site="gm.load_filter", l2_reuse=flt_reuse,
                 )
             if rem:
                 rem_base = base + full_reqs * warp_lanes * elem
-                pattern = rem_base + np.arange(rem, dtype=np.int64) * elem
                 tracer.gmem_read(
-                    pattern, elem,
+                    rem_base + scalar_lanes[:rem], elem,
                     count=float(freq) * blocks,
                     site="gm.load_filter", l2_reuse=flt_reuse,
                 )
@@ -372,33 +379,27 @@ class GeneralCaseKernel:
 
         # --- shared-memory reads: image register rows (line 12) -------------
         # Address depends only on ty; TX lanes broadcast.  A warp holds
-        # warp/TX distinct ty values.
-        ty_per_warp = max(1, warp_lanes // cfg.tx)
-        u_img = math.ceil((cfg.wt + k - 1) / n)
-        ty_ids = (lanes // cfg.tx) % cfg.ty
-        for u in range(u_img):
-            addrs = (
-                (rows_of_ty_addr(cfg, k, ty_ids) + cols_addr(cfg, ty_ids)) * elem
-                + u * unit
-            )
-            tracer.smem_read(
-                addrs,
-                unit,
-                count=float(warps) * k * c_total * blocks,
-                site="sm.load_image_row",
-            )
+        # warp/TX distinct ty values.  The batch geometry depends only on
+        # the config's tiling (not the problem), so the canonicalized
+        # batch is built once per geometry and folded with this
+        # problem's execution count.
+        row_bytes = tracer.smem_batch_mod()
+        tracer.smem_read_prepared(
+            _img_row_read_batch(warp_lanes, cfg.tx, cfg.ty, cfg.wt, cfg.w,
+                                k, elem, n, row_bytes),
+            unit,
+            scale=float(warps) * k * c_total * blocks,
+            site="sm.load_image_row",
+        )
 
         # --- shared-memory reads: filter values (line 14) --------------------
-        u_flt = max(1, cfg.ft // n)
-        tx_ids = lanes % cfg.tx
-        for u in range(u_flt):
-            addrs = tx_ids * cfg.ft * elem + u * unit
-            tracer.smem_read(
-                addrs,
-                unit,
-                count=float(warps) * k * k * c_total * blocks,
-                site="sm.load_filter_row",
-            )
+        tracer.smem_read_prepared(
+            _flt_row_read_batch(warp_lanes, cfg.tx, cfg.ft, elem, n,
+                                row_bytes),
+            unit,
+            scale=float(warps) * k * k * c_total * blocks,
+            site="sm.load_filter_row",
+        )
 
         # --- compute ----------------------------------------------------------
         tracer.flops(2.0 * k * k * c_total * cfg.ftb * cfg.w * cfg.h * blocks)
@@ -407,19 +408,11 @@ class GeneralCaseKernel:
         # Lane tx writes filter map tx*FT + ff; maps are OH*OW apart.  Each
         # thread writes its WT pixels as wide units; store sectors price it.
         map_stride = valid.out_height * valid.out_width * elem
-        wide = 16 if (cfg.wt * elem) % 16 == 0 else unit
-        u_out = math.ceil(cfg.wt * elem / wide)
-        wb_addrs = tx_ids * cfg.ft * map_stride + ty_ids * cfg.wt * elem
-        for ff in range(cfg.ft):
-            for u in range(u_out):
-                addrs = wb_addrs + ff * map_stride + u * wide
-                addrs -= addrs % wide
-                tracer.gmem_write(
-                    addrs,
-                    wide,
-                    count=float(warps) * blocks,
-                    site="gm.store_out",
-                )
+        wb_prep, wide = _writeback_batch(
+            warp_lanes, cfg.tx, cfg.ty, cfg.ft, cfg.wt, map_stride, elem, n)
+        tracer.gmem_write_prepared(
+            wb_prep, wide, scale=float(warps) * blocks, site="gm.store_out",
+        )
 
         # --- barriers ----------------------------------------------------------
         tracer.sync((2.0 * chunks + 2.0) * blocks)
@@ -437,6 +430,72 @@ class GeneralCaseKernel:
     def gflops(self, problem: ConvProblem,
                model: Optional[TimingModel] = None) -> float:
         return self.predict(problem, model).gflops(problem.flops)
+
+
+@functools.lru_cache(maxsize=4096)
+def _img_row_read_batch(warp_lanes, tx, ty, wt, w, k, elem, n, row_bytes):
+    """Prepared batch of one warp's image register-row reads (line 12)."""
+    lanes = np.arange(warp_lanes, dtype=np.int64)
+    ty_ids = (lanes // tx) % ty
+    base = (
+        ((ty_ids * wt) // w) * (w + k - 1) + (ty_ids * wt) % w
+    ) * elem
+    u_img = math.ceil((wt + k - 1) / n)
+    unit = n * elem
+    matrix = (
+        base[np.newaxis, :]
+        + np.arange(u_img, dtype=np.int64)[:, np.newaxis] * unit
+    )
+    return prepare_batch(matrix, row_bytes)
+
+
+@functools.lru_cache(maxsize=4096)
+def _flt_row_read_batch(warp_lanes, tx, ft, elem, n, row_bytes):
+    """Prepared batch of one warp's vectorized filter reads (line 14)."""
+    lanes = np.arange(warp_lanes, dtype=np.int64)
+    base = (lanes % tx) * ft * elem
+    u_flt = max(1, ft // n)
+    unit = n * elem
+    matrix = (
+        base[np.newaxis, :]
+        + np.arange(u_flt, dtype=np.int64)[:, np.newaxis] * unit
+    )
+    return prepare_batch(matrix, row_bytes)
+
+
+@functools.lru_cache(maxsize=4096)
+def _writeback_batch(warp_lanes, tx, ty, ft, wt, map_stride, elem, n):
+    """Prepared batch of the uncoalesced writeback, plus its store width."""
+    lanes = np.arange(warp_lanes, dtype=np.int64)
+    tx_ids = lanes % tx
+    ty_ids = (lanes // tx) % ty
+    wide = 16 if (wt * elem) % 16 == 0 else n * elem
+    u_out = math.ceil(wt * elem / wide)
+    wb_addrs = tx_ids * ft * map_stride + ty_ids * wt * elem
+    wb_offsets = (
+        np.arange(ft, dtype=np.int64)[:, np.newaxis] * map_stride
+        + np.arange(u_out, dtype=np.int64) * wide
+    ).reshape(-1, 1)
+    matrix = wb_addrs[np.newaxis, :] + wb_offsets
+    matrix -= matrix % wide
+    return prepare_batch(matrix, math.lcm(wide, KernelTracer.SECTOR_BYTES)), wide
+
+
+@functools.lru_cache(maxsize=4096)
+def _filter_base_alignments(ftb, stride, chunk_step, chunks, seg):
+    """Distinct filter-run base alignments mod ``seg`` and their counts.
+
+    The run base walks ``f * stride + chunk * chunk_step``; only its
+    residue mod the sector matters to the coalescer, and a whole config
+    sweep shares a handful of (ftb, stride, chunk_step, chunks) tuples,
+    so the enumeration is memoized.
+    """
+    base_grid = (
+        np.arange(ftb, dtype=np.int64)[:, np.newaxis] * stride
+        + np.arange(chunks, dtype=np.int64) * chunk_step
+    ) % seg
+    values, freqs = np.unique(base_grid, return_counts=True)
+    return tuple(values.tolist()), tuple(freqs.tolist())
 
 
 def rows_of_ty_addr(cfg: GeneralCaseConfig, k: int, ty_ids: np.ndarray) -> np.ndarray:

@@ -33,6 +33,7 @@ from repro.gpu.device import DeviceExecutor
 from repro.gpu.memory.banks import BankConflictPolicy
 from repro.gpu.simt import Dim3
 from repro.gpu.trace import KernelCost
+from repro.obs.perf.profiler import maybe_profile
 
 __all__ = ["InterpretedGeneralKernel"]
 
@@ -96,8 +97,6 @@ class InterpretedGeneralKernel:
         fgroups = f_total // cfg.ftb
         # Opt-in sampling (REPRO_PROFILE=1): the per-block interpreter
         # loop is the simulator's hottest Python path.
-        from repro.obs.perf.profiler import maybe_profile
-
         with maybe_profile("simt.general"):
             for fg in range(fgroups):
                 for by in range(blocks_y):
@@ -215,8 +214,11 @@ class InterpretedGeneralKernel:
                         ) * row_floats + cols_of_ty[ty_of[warp.lane]]
                         for u in range(u_img):
                             # The tail unit is clamped back to stay in
-                            # range (an overlapping aligned vector load).
-                            off = min(u * n, cfg.wt + k - 1 - n)
+                            # range (an overlapping aligned vector load);
+                            # never below 0, which would mis-slice the
+                            # register row when the row is narrower than
+                            # one vector unit.
+                            off = max(0, min(u * n, cfg.wt + k - 1 - n))
                             vals = warp.sload(sh_img, base + off, vector=n,
                                               site="sm.load_image_row")
                             rimg[warp.lane, off:off + n] = \

@@ -31,6 +31,7 @@ from repro.gpu.device import DeviceExecutor
 from repro.gpu.memory.banks import BankConflictPolicy
 from repro.gpu.simt import Dim3
 from repro.gpu.trace import KernelCost
+from repro.obs.perf.profiler import maybe_profile
 
 __all__ = ["InterpretedSpecialKernel"]
 
@@ -93,8 +94,6 @@ class InterpretedSpecialKernel:
 
         # Opt-in sampling (REPRO_PROFILE=1): the per-block interpreter
         # loop is the simulator's hottest Python path.
-        from repro.obs.perf.profiler import maybe_profile
-
         with maybe_profile("simt.special"):
             for by in range(blocks_y):
                 for bx in range(blocks_x):

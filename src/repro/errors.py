@@ -38,6 +38,10 @@ class TraceError(ReproError):
     """A memory-access trace request is malformed."""
 
 
+class AuditMismatchError(TraceError):
+    """The fast trace generator disagrees with the interpreted oracle."""
+
+
 class ObservabilityError(ReproError):
     """A telemetry operation (metric, span, exporter) is invalid."""
 

@@ -12,7 +12,12 @@ It provides:
   hardware profiler counters;
 * :mod:`repro.gpu.occupancy` — the occupancy calculator;
 * :mod:`repro.gpu.timing` — the analytical timing model that converts a
-  traffic ledger into seconds / GFlop/s.
+  traffic ledger into seconds / GFlop/s;
+* :mod:`repro.gpu.device` — the warp-synchronous SIMT interpreter (the
+  executable oracle);
+* :mod:`repro.gpu.fastsim` — vectorized whole-warp trace generation,
+  byte-identical to the interpreter and orders of magnitude faster,
+  with the interpreter as its opt-in audit (``REPRO_AUDIT=1``).
 """
 
 from repro.gpu.arch import (
@@ -26,6 +31,12 @@ from repro.gpu.simt import Dim3, LaunchConfig
 from repro.gpu.trace import KernelCost, TrafficLedger, KernelTracer
 from repro.gpu.occupancy import OccupancyResult, occupancy
 from repro.gpu.timing import TimingModel, TimingBreakdown
+from repro.gpu.fastsim import (
+    FastSpecialKernel,
+    FastGeneralKernel,
+    audit_enabled,
+    kernel_cost_diffs,
+)
 
 __all__ = [
     "GPUArchitecture",
@@ -42,4 +53,8 @@ __all__ = [
     "occupancy",
     "TimingModel",
     "TimingBreakdown",
+    "FastSpecialKernel",
+    "FastGeneralKernel",
+    "audit_enabled",
+    "kernel_cost_diffs",
 ]

@@ -35,7 +35,7 @@ import numpy as np
 from repro.errors import TraceError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.gpu.memory.banks import BankConflictPolicy
-from repro.gpu.simt import Dim3, LaunchConfig
+from repro.gpu.simt import Dim3, LaunchConfig, lane_ids, warp_count
 from repro.gpu.trace import KernelCost, KernelTracer
 
 __all__ = [
@@ -81,10 +81,20 @@ class GlobalArray:
     def __len__(self) -> int:
         return self.data.size
 
-    def addresses(self, index) -> np.ndarray:
+    def addresses(self, index, vector: int = 1, site: str = "") -> np.ndarray:
+        """Byte addresses of a per-lane access of ``vector`` elements.
+
+        The whole span ``[idx, idx + vector)`` of every lane must be in
+        range, not just the base element — a vector access straddling
+        the end of the allocation is a trace error, not a numpy one.
+        """
         idx = np.asarray(index, dtype=np.int64)
-        if np.any(idx < 0) or np.any(idx >= self.data.size):
-            raise TraceError("global index out of range in %s" % self.name)
+        if vector < 1:
+            raise TraceError("vector width must be positive")
+        if np.any(idx < 0) or np.any(idx + (vector - 1) >= self.data.size):
+            raise TraceError(
+                "global index out of range in %s (vector=%d)%s"
+                % (self.name, vector, " at site %r" % site if site else ""))
         return self.base + idx * self.elem
 
 
@@ -102,10 +112,19 @@ class SharedArray:
         self.name = name
         self.elem = 4
 
-    def addresses(self, index) -> np.ndarray:
+    def addresses(self, index, vector: int = 1, site: str = "") -> np.ndarray:
+        """Byte addresses of a per-lane access of ``vector`` elements.
+
+        Like :meth:`GlobalArray.addresses`, the full ``vector`` span of
+        every lane is bounds-checked.
+        """
         idx = np.asarray(index, dtype=np.int64)
-        if np.any(idx < 0) or np.any(idx >= self.data.size):
-            raise TraceError("shared index out of range in %s" % self.name)
+        if vector < 1:
+            raise TraceError("vector width must be positive")
+        if np.any(idx < 0) or np.any(idx + (vector - 1) >= self.data.size):
+            raise TraceError(
+                "shared index out of range in %s (vector=%d)%s"
+                % (self.name, vector, " at site %r" % site if site else ""))
         return idx * self.elem
 
 
@@ -123,7 +142,7 @@ class Warp:
               site: str = "gmem") -> np.ndarray:
         """Per-lane load of ``vector`` consecutive elements each."""
         idx = np.asarray(index, dtype=np.int64)
-        addrs = arr.addresses(idx)
+        addrs = arr.addresses(idx, vector, site)
         self._tracer.gmem_read(addrs, arr.elem * vector, count=1.0, site=site)
         gathered = arr.data[idx[:, np.newaxis] + np.arange(vector)]
         return gathered[:, 0] if vector == 1 else gathered
@@ -131,7 +150,7 @@ class Warp:
     def gstore(self, arr: GlobalArray, index, values, vector: int = 1,
                site: str = "gmem") -> None:
         idx = np.asarray(index, dtype=np.int64)
-        addrs = arr.addresses(idx)
+        addrs = arr.addresses(idx, vector, site)
         self._tracer.gmem_write(addrs, arr.elem * vector, count=1.0, site=site)
         vals = np.asarray(values, dtype=np.float32)
         if vector == 1:
@@ -144,7 +163,7 @@ class Warp:
     def sload(self, arr: SharedArray, index, vector: int = 1,
               site: str = "smem") -> np.ndarray:
         idx = np.asarray(index, dtype=np.int64)
-        addrs = arr.addresses(idx)
+        addrs = arr.addresses(idx, vector, site)
         self._tracer.smem_read(addrs, arr.elem * vector, count=1.0, site=site)
         gathered = arr.data[idx[:, np.newaxis] + np.arange(vector)]
         return gathered[:, 0] if vector == 1 else gathered
@@ -152,7 +171,7 @@ class Warp:
     def sstore(self, arr: SharedArray, index, values, vector: int = 1,
                site: str = "smem") -> None:
         idx = np.asarray(index, dtype=np.int64)
-        addrs = arr.addresses(idx)
+        addrs = arr.addresses(idx, vector, site)
         self._tracer.smem_write(addrs, arr.elem * vector, count=1.0, site=site)
         vals = np.asarray(values, dtype=np.float32)
         if vector == 1:
@@ -166,7 +185,7 @@ class Warp:
         idx = np.asarray(index, dtype=np.int64)
         if idx.ndim == 0:
             idx = np.full(self.lane.size, int(idx), dtype=np.int64)
-        addrs = arr.addresses(idx)
+        addrs = arr.addresses(idx, 1, site)
         self._tracer.cmem_read(addrs, count=1.0, site=site)
         return arr.data[idx]
 
@@ -199,10 +218,8 @@ class Block:
 
     def warps(self) -> Iterator[Warp]:
         warp_size = self.executor.arch.warp_size
-        for w in range((self.threads + warp_size - 1) // warp_size):
-            lo = w * warp_size
-            hi = min(lo + warp_size, self.threads)
-            yield Warp(self, w, np.arange(lo, hi))
+        for w in range(warp_count(self.threads, warp_size)):
+            yield Warp(self, w, lane_ids(w, self.threads, warp_size))
 
     def sync(self) -> None:
         """__syncthreads(): warp-synchronous execution makes this a

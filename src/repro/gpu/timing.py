@@ -152,11 +152,11 @@ class TimingModel:
             "Modeled execution seconds, by kernel and roofline component",
             labelnames=("kernel", "component"))
         for component, value in components.items():
-            seconds.inc(value, kernel=kernel, component=component)
+            seconds.inc_key((kernel, component), value)
         reg.counter(
             "gpu_timing_evaluations_total",
             "Timing-model evaluations, by kernel",
-            labelnames=("kernel",)).inc(kernel=kernel)
+            labelnames=("kernel",)).inc_key((kernel,))
 
     # ------------------------------------------------------------------
     def evaluate(self, cost: KernelCost) -> TimingBreakdown:

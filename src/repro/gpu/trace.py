@@ -18,8 +18,11 @@ via the ``variants`` argument.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
+
+import numpy as np
 
 from repro.errors import TraceError
 from repro.gpu.arch import GPUArchitecture
@@ -34,9 +37,54 @@ __all__ = [
     "TrafficLedger",
     "KernelCost",
     "KernelTracer",
+    "PreparedBatch",
+    "prepare_batch",
     "cross_block_reuse",
     "publish_kernel_cost",
+    "access_cache_stats",
+    "clear_access_caches",
 ]
+
+
+# ----------------------------------------------------------------------
+# Canonical-pattern memoization of memory-model results
+# ----------------------------------------------------------------------
+#
+# Every model outcome is invariant under translating a warp's addresses
+# by a multiple of the structure period: the bank row (bank_count *
+# bank_width bytes) for shared memory, lcm(access size, sector) for
+# global memory, and any constant for the broadcast model.  Shifting a
+# pattern down to its canonical window therefore collapses the millions
+# of distinct absolute address vectors a sweep replays into a few dozen
+# canonical ones, whose results are memoized process-wide per
+# (architecture parameters, policy).  Results are frozen dataclasses, so
+# sharing them is safe; invalid requests (negative addresses,
+# misalignment, too many lanes) bypass the cache and raise exactly as
+# before.
+
+_ACCESS_CACHE_CAP = 1 << 16
+
+_model_caches: Dict[tuple, dict] = {}
+_access_cache_hits = 0
+_access_cache_misses = 0
+
+
+def _cache_for(key: tuple) -> dict:
+    return _model_caches.setdefault(key, {})
+
+
+def clear_access_caches() -> None:
+    """Drop every memoized memory-model result (mainly for tests)."""
+    _model_caches.clear()
+
+
+def access_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the canonical-pattern access cache."""
+    return {
+        "hits": _access_cache_hits,
+        "misses": _access_cache_misses,
+        "entries": sum(len(c) for c in _model_caches.values()),
+    }
 
 
 def cross_block_reuse(arch: "GPUArchitecture", slab_bytes: float,
@@ -52,6 +100,59 @@ def cross_block_reuse(arch: "GPUArchitecture", slab_bytes: float,
     if slab_bytes <= 0:
         return 1.0
     return max(1.0, min(float(sharing_blocks), arch.l2_size / slab_bytes, cap))
+
+
+class PreparedBatch:
+    """A canonicalized, deduplicated warp-request batch.
+
+    ``rows`` are the distinct canonical address patterns, ``keys`` their
+    serialized cache keys, ``mults`` their integer row multiplicities.
+    A prepared batch captures only a batch's *geometry* — callers that
+    replay the same address structure under many different execution
+    counts (a config sweep, the fast trace generators) build it once,
+    cache it, and fold it repeatedly through the ``*_prepared`` tracer
+    methods with a per-use uniform scale.
+    """
+
+    __slots__ = ("rows", "keys", "mults")
+
+    def __init__(self, rows, keys, mults):
+        self.rows = rows
+        self.keys = keys
+        self.mults = mults
+
+
+def prepare_batch(matrix, mod: int) -> PreparedBatch:
+    """Canonicalize and deduplicate a ``(warps, lanes)`` address matrix.
+
+    ``mod`` is the structure period the patterns are invariant under
+    (the shared-memory row bytes, or ``lcm(access size, sector)`` for
+    global memory).  Raises :class:`TraceError` on malformed input or
+    negative addresses, exactly like the batch tracer methods.
+    """
+    m = np.ascontiguousarray(np.asarray(matrix, dtype=np.int64))
+    if m.ndim == 1:
+        m = m[np.newaxis, :]
+    if m.ndim != 2 or m.size == 0:
+        raise TraceError("batch address matrix must be (warps, lanes)")
+    lo = m.min(axis=1)
+    if np.any(lo < 0):
+        raise TraceError("negative address in batch request")
+    shift = (lo // mod) * mod
+    canon = m - shift[:, np.newaxis]
+    groups: Dict[bytes, float] = {}
+    rows: Dict[bytes, np.ndarray] = {}
+    for i in range(canon.shape[0]):
+        key = canon[i].tobytes()
+        if key in groups:
+            groups[key] += 1.0
+        else:
+            groups[key] = 1.0
+            rows[key] = canon[i]
+    return PreparedBatch(
+        [rows[key] for key in groups], list(groups),
+        [groups[key] for key in groups],
+    )
 
 
 @dataclass
@@ -218,33 +319,33 @@ def publish_kernel_cost(cost: KernelCost, registry=None) -> None:
         "gpu_gmem_transactions_total",
         "Modeled global-memory transactions, by kernel and direction",
         labelnames=("kernel", "op"))
-    gmem_tx.inc(led.gmem_read_transactions, kernel=k, op="read")
-    gmem_tx.inc(led.gmem_write_transactions, kernel=k, op="write")
+    gmem_tx.inc_key((k, "read"), led.gmem_read_transactions)
+    gmem_tx.inc_key((k, "write"), led.gmem_write_transactions)
     gmem_bytes = reg.counter(
         "gpu_gmem_bytes_moved_total",
         "Modeled DRAM bytes moved, by kernel and direction",
         labelnames=("kernel", "op"))
-    gmem_bytes.inc(led.gmem_read_bytes_moved, kernel=k, op="read")
-    gmem_bytes.inc(led.gmem_write_bytes_moved, kernel=k, op="write")
+    gmem_bytes.inc_key((k, "read"), led.gmem_read_bytes_moved)
+    gmem_bytes.inc_key((k, "write"), led.gmem_write_bytes_moved)
     reg.counter(
         "gpu_smem_cycles_total",
         "Modeled shared-memory serialized cycles, by kernel",
-        labelnames=("kernel",)).inc(led.smem_cycles, kernel=k)
+        labelnames=("kernel",)).inc_key((k,), led.smem_cycles)
     reg.counter(
         "gpu_smem_bank_conflict_cycles_total",
         "Shared-memory cycles beyond the conflict-free floor, by kernel",
-        labelnames=("kernel",)).inc(
-            max(0.0, led.smem_cycles - led.smem_min_cycles), kernel=k)
+        labelnames=("kernel",)).inc_key(
+            (k,), max(0.0, led.smem_cycles - led.smem_min_cycles))
     reg.counter(
         "gpu_cmem_cycles_total",
         "Modeled constant-memory serialization cycles, by kernel",
-        labelnames=("kernel",)).inc(led.cmem_cycles, kernel=k)
+        labelnames=("kernel",)).inc_key((k,), led.cmem_cycles)
     reg.counter(
         "gpu_flops_total", "Modeled floating-point operations, by kernel",
-        labelnames=("kernel",)).inc(led.flops, kernel=k)
+        labelnames=("kernel",)).inc_key((k,), led.flops)
     reg.counter(
         "gpu_kernel_costs_total", "Kernel costs traced, by kernel",
-        labelnames=("kernel",)).inc(kernel=k)
+        labelnames=("kernel",)).inc_key((k,))
     site_exec = reg.counter(
         "gpu_site_executions_total",
         "Warp-level requests issued, by kernel and access site",
@@ -258,11 +359,11 @@ def publish_kernel_cost(cost: KernelCost, registry=None) -> None:
         "Serialized smem/cmem cycles, by kernel and access site",
         labelnames=("kernel", "site"))
     for site, stats in led.sites.items():
-        site_exec.inc(stats.executions, kernel=k, site=site)
+        site_exec.inc_key((k, site), stats.executions)
         if stats.transactions:
-            site_tx.inc(stats.transactions, kernel=k, site=site)
+            site_tx.inc_key((k, site), stats.transactions)
         if stats.cycles:
-            site_cycles.inc(stats.cycles, kernel=k, site=site)
+            site_cycles.inc_key((k, site), stats.cycles)
 
 
 class KernelTracer:
@@ -292,6 +393,55 @@ class KernelTracer:
         # to redirect.
         self.registry = registry
         self.ledger = TrafficLedger(gmem_segment_size=arch.gmem_transaction_size)
+        self._smem_row_bytes = arch.smem_bank_count * arch.smem_bank_width
+        self._smem_cache = _cache_for(
+            ("smem", arch.warp_size, arch.smem_bank_count,
+             arch.smem_bank_width, bank_policy))
+        self._gmem_cache = _cache_for(("gmem", arch.warp_size))
+        self._cmem_cache = _cache_for(("cmem", arch.warp_size))
+
+    # --- canonical cached model access -------------------------------------
+    def _lookup(self, cache, model_access, canon, args, rowbytes):
+        """Cache lookup for an already-canonicalized pattern."""
+        global _access_cache_hits, _access_cache_misses
+        key = (args, rowbytes)
+        res = cache.get(key)
+        if res is None:
+            _access_cache_misses += 1
+            res = model_access(canon, *args)
+            if len(cache) < _ACCESS_CACHE_CAP:
+                cache[key] = res
+        else:
+            _access_cache_hits += 1
+        return res
+
+    def _cached(self, cache, model_access, addrs, mod, *args):
+        """Memoized ``model.access`` via the canonical translated pattern."""
+        if addrs.ndim != 1 or addrs.size == 0:
+            return model_access(addrs, *args)      # raises like the model
+        lo = int(addrs.min())
+        if lo < 0:
+            return model_access(addrs, *args)      # preserve the error path
+        shift = (lo // mod) * mod
+        canon = addrs - shift if shift else addrs
+        return self._lookup(cache, model_access, canon, args, canon.tobytes())
+
+    def _smem_access(self, addresses, size):
+        addrs = np.asarray(addresses, dtype=np.int64)
+        return self._cached(self._smem_cache, self.smem.access, addrs,
+                            self._smem_row_bytes, size)
+
+    def _gmem_access(self, addresses, size, segment_size):
+        addrs = np.asarray(addresses, dtype=np.int64)
+        if size <= 0:
+            return self.gmem.access(addrs, size, segment_size)
+        mod = math.lcm(int(size), int(segment_size))
+        return self._cached(self._gmem_cache, self.gmem.access, addrs,
+                            mod, size, segment_size)
+
+    def _cmem_access(self, addresses):
+        addrs = np.asarray(addresses, dtype=np.int64)
+        return self._cached(self._cmem_cache, self.cmem.access, addrs, 1)
 
     # --- shared memory ----------------------------------------------------
     def smem_read(self, addresses, size: int, count: float = 1.0, site: str = "smem"):
@@ -303,22 +453,21 @@ class KernelTracer:
     def _smem(self, addresses, size, count, site, kind):
         if count < 0:
             raise TraceError("count cannot be negative")
-        res = self.smem.access(addresses, size)
+        res = self._smem_access(addresses, size)
+        self._smem_fold(res, count, site, kind)
+        return res
+
+    def _smem_fold(self, res, count, site, kind):
         led = self.ledger
         led.smem_requests += count
         led.smem_cycles += res.cycles * count
         led.smem_min_cycles += res.phases * count
         led.smem_request_bytes += res.request_bytes * count
-        self._site(site, kind).merge_from(
-            SiteStats(
-                kind=kind,
-                executions=count,
-                cycles=res.cycles * count,
-                request_bytes=res.request_bytes * count,
-                unique_bytes=res.unique_bytes * count,
-            )
-        )
-        return res
+        st = self._site(site, kind)
+        st.executions += count
+        st.cycles += res.cycles * count
+        st.request_bytes += res.request_bytes * count
+        st.unique_bytes += res.unique_bytes * count
 
     # --- global memory ------------------------------------------------------
     #: Global accesses on the modeled devices bypass L1 and are serviced
@@ -340,7 +489,11 @@ class KernelTracer:
         if l2_reuse < 1.0:
             raise TraceError("l2_reuse must be >= 1")
         sector = self.SECTOR_BYTES
-        res = self.gmem.access(addresses, size, segment_size=sector)
+        res = self._gmem_access(addresses, size, sector)
+        self._gmem_fold(res, count, site, write, l2_reuse)
+        return res
+
+    def _gmem_fold(self, res, count, site, write, l2_reuse=1.0):
         led = self.ledger
         kind = "gmem.write" if write else "gmem.read"
         # Every transaction passes through the L2; only 1/l2_reuse of
@@ -355,28 +508,196 @@ class KernelTracer:
             led.gmem_read_transactions += res.transactions * count
             led.gmem_read_request_bytes += res.request_bytes * count
             led.gmem_read_bytes_moved += res.bytes_moved * count / l2_reuse
-        self._site(site, kind).merge_from(
-            SiteStats(
-                kind=kind,
-                executions=count,
-                transactions=res.transactions * count,
-                request_bytes=res.request_bytes * count,
-                unique_bytes=res.unique_bytes * count,
-            )
-        )
-        return res
+        st = self._site(site, kind)
+        st.executions += count
+        st.transactions += res.transactions * count
+        st.request_bytes += res.request_bytes * count
+        st.unique_bytes += res.unique_bytes * count
 
     # --- constant memory -----------------------------------------------------
     def cmem_read(self, addresses, count: float = 1.0, site: str = "cmem"):
         if count < 0:
             raise TraceError("count cannot be negative")
-        res = self.cmem.access(addresses)
+        res = self._cmem_access(addresses)
+        self._cmem_fold(res, count, site)
+        return res
+
+    def _cmem_fold(self, res, count, site):
         self.ledger.cmem_requests += count
         self.ledger.cmem_cycles += res.serializations * count
-        self._site(site, "cmem.read").merge_from(
-            SiteStats(kind="cmem.read", executions=count, cycles=res.serializations * count)
-        )
-        return res
+        st = self._site(site, "cmem.read")
+        st.executions += count
+        st.cycles += res.serializations * count
+
+    # --- warp-batch API -----------------------------------------------------
+    # A whole block's (or launch's) worth of warp requests for one site,
+    # as a ``(warps, lanes)`` byte-address matrix: each row is one warp
+    # request.  Rows are canonicalized (translated down to their
+    # structure period, see the module-level cache notes), deduplicated
+    # vectorized, and each distinct pattern is folded through the model
+    # once with the summed multiplicity.  Because per-request model
+    # outcomes are integers, the grouped accumulation is bit-identical
+    # to issuing every row individually — the fast trace generators in
+    # :mod:`repro.gpu.fastsim` rely on exactly that.
+
+    def _batch_rows(self, matrix, counts, mod):
+        m = np.ascontiguousarray(np.asarray(matrix, dtype=np.int64))
+        if m.ndim == 1:
+            m = m[np.newaxis, :]
+        if m.ndim != 2 or m.size == 0:
+            raise TraceError("batch address matrix must be (warps, lanes)")
+        if counts is None:
+            weights = None
+        else:
+            weights = np.asarray(counts, dtype=np.float64)
+            if weights.shape != (m.shape[0],):
+                raise TraceError(
+                    "counts must have one entry per warp request row")
+            if np.any(weights < 0):
+                raise TraceError("count cannot be negative")
+        lo = m.min(axis=1)
+        if np.any(lo < 0):
+            raise TraceError("negative address in batch request")
+        shift = (lo // mod) * mod
+        canon = m - shift[:, np.newaxis]
+        # Row dedup via a dict of raw row bytes: np.unique(axis=0)'s
+        # void-view machinery costs more than the model calls it saves
+        # on typical batch sizes.  Insertion order keeps the fold
+        # deterministic; integer-valued weights keep it exact.  The raw
+        # row bytes double as the cache key downstream, so the batch
+        # path canonicalizes and serializes each pattern exactly once.
+        groups: Dict[bytes, float] = {}
+        rows: Dict[bytes, np.ndarray] = {}
+        for i in range(canon.shape[0]):
+            key = canon[i].tobytes()
+            if key in groups:
+                groups[key] += 1.0 if weights is None else weights[i]
+            else:
+                groups[key] = 1.0 if weights is None else weights[i]
+                rows[key] = canon[i]
+        return [(rows[key], key, groups[key]) for key in groups]
+
+    def smem_read_batch(self, matrix, size: int, counts=None,
+                        site: str = "smem") -> None:
+        self._smem_batch(matrix, size, counts, site, "smem.read")
+
+    def smem_write_batch(self, matrix, size: int, counts=None,
+                         site: str = "smem") -> None:
+        self._smem_batch(matrix, size, counts, site, "smem.write")
+
+    def _smem_batch(self, matrix, size, counts, site, kind):
+        cache = self._smem_cache
+        access = self.smem.access
+        args = (size,)
+        for row, rowbytes, mult in self._batch_rows(
+                matrix, counts, self._smem_row_bytes):
+            if mult:
+                res = self._lookup(cache, access, row, args, rowbytes)
+                self._smem_fold(res, float(mult), site, kind)
+
+    def gmem_read_batch(self, matrix, size: int, counts=None,
+                        site: str = "gmem", l2_reuse: float = 1.0) -> None:
+        if l2_reuse < 1.0:
+            raise TraceError("l2_reuse must be >= 1")
+        self._gmem_batch(matrix, size, counts, site, False, l2_reuse)
+
+    def gmem_write_batch(self, matrix, size: int, counts=None,
+                         site: str = "gmem") -> None:
+        self._gmem_batch(matrix, size, counts, site, True, 1.0)
+
+    def _gmem_batch(self, matrix, size, counts, site, write, l2_reuse):
+        if size <= 0:
+            raise TraceError("access size must be positive")
+        mod = math.lcm(int(size), self.SECTOR_BYTES)
+        cache = self._gmem_cache
+        access = self.gmem.access
+        args = (size, self.SECTOR_BYTES)
+        for row, rowbytes, mult in self._batch_rows(matrix, counts, mod):
+            if mult:
+                res = self._lookup(cache, access, row, args, rowbytes)
+                self._gmem_fold(res, float(mult), site, write, l2_reuse)
+
+    def cmem_read_batch(self, matrix, counts=None,
+                        site: str = "cmem") -> None:
+        cache = self._cmem_cache
+        access = self.cmem.access
+        for row, rowbytes, mult in self._batch_rows(matrix, counts, 1):
+            if mult:
+                res = self._lookup(cache, access, row, (), rowbytes)
+                self._cmem_fold(res, float(mult), site)
+
+    # --- prepared batches ---------------------------------------------------
+    # The same folds as the batch API, but over a :class:`PreparedBatch`
+    # whose canonicalization/dedup already happened (and was typically
+    # cached across kernels sharing the geometry).  Each distinct row
+    # executes ``row multiplicity * scale`` times.
+
+    def smem_batch_mod(self) -> int:
+        """The period to :func:`prepare_batch` shared-memory batches with."""
+        return self._smem_row_bytes
+
+    def gmem_batch_mod(self, size: int) -> int:
+        """The period to :func:`prepare_batch` global-memory batches with."""
+        if size <= 0:
+            raise TraceError("access size must be positive")
+        return math.lcm(int(size), self.SECTOR_BYTES)
+
+    def smem_read_prepared(self, prep: PreparedBatch, size: int,
+                           scale: float = 1.0, site: str = "smem") -> None:
+        self._smem_prepared(prep, size, scale, site, "smem.read")
+
+    def smem_write_prepared(self, prep: PreparedBatch, size: int,
+                            scale: float = 1.0, site: str = "smem") -> None:
+        self._smem_prepared(prep, size, scale, site, "smem.write")
+
+    def _smem_prepared(self, prep, size, scale, site, kind):
+        if scale < 0:
+            raise TraceError("count cannot be negative")
+        cache = self._smem_cache
+        access = self.smem.access
+        args = (size,)
+        for row, rowbytes, m in zip(prep.rows, prep.keys, prep.mults):
+            mult = m * scale
+            if mult:
+                res = self._lookup(cache, access, row, args, rowbytes)
+                self._smem_fold(res, mult, site, kind)
+
+    def gmem_read_prepared(self, prep: PreparedBatch, size: int,
+                           scale: float = 1.0, site: str = "gmem",
+                           l2_reuse: float = 1.0) -> None:
+        if l2_reuse < 1.0:
+            raise TraceError("l2_reuse must be >= 1")
+        self._gmem_prepared(prep, size, scale, site, False, l2_reuse)
+
+    def gmem_write_prepared(self, prep: PreparedBatch, size: int,
+                            scale: float = 1.0, site: str = "gmem") -> None:
+        self._gmem_prepared(prep, size, scale, site, True, 1.0)
+
+    def _gmem_prepared(self, prep, size, scale, site, write, l2_reuse):
+        if scale < 0:
+            raise TraceError("count cannot be negative")
+        if size <= 0:
+            raise TraceError("access size must be positive")
+        cache = self._gmem_cache
+        access = self.gmem.access
+        args = (size, self.SECTOR_BYTES)
+        for row, rowbytes, m in zip(prep.rows, prep.keys, prep.mults):
+            mult = m * scale
+            if mult:
+                res = self._lookup(cache, access, row, args, rowbytes)
+                self._gmem_fold(res, mult, site, write, l2_reuse)
+
+    def cmem_read_prepared(self, prep: PreparedBatch, scale: float = 1.0,
+                           site: str = "cmem") -> None:
+        if scale < 0:
+            raise TraceError("count cannot be negative")
+        cache = self._cmem_cache
+        access = self.cmem.access
+        for row, rowbytes, m in zip(prep.rows, prep.keys, prep.mults):
+            mult = m * scale
+            if mult:
+                res = self._lookup(cache, access, row, (), rowbytes)
+                self._cmem_fold(res, mult, site)
 
     # --- compute / control ------------------------------------------------------
     def flops(self, count: float) -> None:

@@ -11,10 +11,12 @@ reference points):
   (batching, plan cache, dispatch);
 * ``fleet_serve`` — the same through a 4-replica ``FleetEngine``
   (routing, admission, SLO accounting);
-* ``simulator`` — the SIMT interpreter executing Algorithm 1
-  block-by-block (the single hottest Python path; the
-  ``REPRO_SIM_HANDICAP`` injector and the vectorization work both show
-  up here first).
+* ``simulator`` — Algorithm 1 through the vectorized trace generator
+  (:mod:`repro.gpu.fastsim`), historically the SIMT interpreter run
+  block-by-block; the cost is byte-identical across that switch, so
+  the modeled metrics form one continuous series.  The
+  ``REPRO_SIM_HANDICAP`` injector still applies, and ``REPRO_AUDIT=1``
+  re-runs the interpreted oracle as a cross-check.
 
 Each workload returns a flat metric dict.  ``wall_s`` is the host
 clock; everything else is modeled/deterministic (the gate relies on
@@ -135,8 +137,8 @@ def _workload_fleet(scale: str, jobs=None) -> Dict[str, float]:
 
 
 def _workload_simulator(scale: str, jobs=None) -> Dict[str, float]:
-    from repro.core.special_interpreted import InterpretedSpecialKernel
     from repro.gpu.arch import KEPLER_K40M
+    from repro.gpu.fastsim import FastSpecialKernel
     from repro.gpu.timing import TimingModel
     from repro.obs.metrics import Registry
 
@@ -144,7 +146,11 @@ def _workload_simulator(scale: str, jobs=None) -> Dict[str, float]:
     rng = np.random.default_rng(3)
     image = rng.standard_normal((h, w)).astype(np.float32)
     filters = rng.standard_normal((4, 3, 3)).astype(np.float32)
-    kernel = InterpretedSpecialKernel()
+    # The vectorized trace generator produces a KernelCost byte-identical
+    # to the interpreted executor's, so every modeled metric below is
+    # unchanged from the interpreter era; REPRO_AUDIT=1 makes this
+    # workload re-run the oracle and verify exactly that on every call.
+    kernel = FastSpecialKernel()
     start = time.perf_counter()
     out, cost = kernel.run_traced(image, filters)
     wall_s = time.perf_counter() - start

@@ -468,3 +468,53 @@ class TestPerf:
         assert main(["perf", "diff", "--trajectory", traj,
                      "--", "0", "5"]) == 2
         assert "out of range" in capsys.readouterr().err
+
+class TestAudit:
+    """The `repro audit` fastsim-vs-oracle cross-check command."""
+
+    def test_audit_default_passes(self, capsys):
+        assert main(["audit", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0 mismatch(es)" in out
+        assert "special" in out and "general" in out
+
+    def test_audit_single_case_other_arch(self, capsys):
+        assert main(["audit", "--case", "special", "--arch", "maxwell",
+                     "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "general" not in out
+
+    def test_audit_json_payload(self, capsys):
+        import json as _json
+
+        assert main(["audit", "--case", "general", "--trials", "1",
+                     "--seed", "9", "--json"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["failures"] == 0
+        assert doc["arch"] == "kepler"
+        assert all(t["ok"] for t in doc["trials"])
+        # Both bank-conflict policies audited.
+        assert {t["policy"] for t in doc["trials"]} == {
+            "word-merge", "paper"}
+
+    def test_audit_mismatch_exits_nonzero(self, capsys, monkeypatch):
+        from repro.gpu.fastsim import FastSpecialKernel
+
+        real = FastSpecialKernel.trace_cost
+
+        def skewed(self, problem):
+            cost = real(self, problem)
+            cost.ledger.flops += 1.0
+            return cost
+
+        monkeypatch.setattr(FastSpecialKernel, "trace_cost", skewed)
+        assert main(["audit", "--case", "special", "--trials", "1"]) == 1
+        captured = capsys.readouterr()
+        assert "AUDIT FAIL" in captured.err
+        assert "MISMATCH" in captured.out
+
+    def test_perf_record_audit_flag(self, tmp_path, capsys):
+        assert main(["perf", "record", "--scale", "smoke", "--no-append",
+                     "--audit", "--trajectory",
+                     str(tmp_path / "t.json")]) == 0
+        capsys.readouterr()
