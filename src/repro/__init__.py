@@ -25,10 +25,11 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
 
-from repro.conv.tensors import ConvProblem, Padding
+from repro.conv.tensors import ConvProblem, Layout, Padding
 from repro.conv.reference import conv2d_reference, conv2d_single_channel
 from repro.core.special import SpecialCaseKernel
 from repro.core.general import GeneralCaseKernel
+from repro.core.depthwise import DepthwiseKernel
 from repro.core.config import (
     SpecialCaseConfig,
     GeneralCaseConfig,
@@ -58,15 +59,17 @@ from repro.serve.plan_cache import PlanCache
 from repro.serve.trace import synthetic_trace
 from repro.obs import Registry, Tracer, instrument
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ConvProblem",
     "Padding",
+    "Layout",
     "conv2d_reference",
     "conv2d_single_channel",
     "SpecialCaseKernel",
     "GeneralCaseKernel",
+    "DepthwiseKernel",
     "SpecialCaseConfig",
     "GeneralCaseConfig",
     "TABLE1_CONFIGS",

@@ -18,7 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.conv.reference import conv2d_reference
-from repro.conv.tensors import ConvProblem, Padding
+from repro.conv.tensors import ConvProblem, Layout, Padding
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.gpu.simt import Dim3, LaunchConfig
 from repro.gpu.timing import TimingBreakdown, TimingModel
@@ -43,9 +43,10 @@ class NaiveDirectKernel:
         image: np.ndarray,
         filters: np.ndarray,
         padding: Padding = Padding.VALID,
+        problem: Optional[ConvProblem] = None,
     ) -> np.ndarray:
         """The per-thread loop nest collapses to the reference result."""
-        return conv2d_reference(image, filters, padding)
+        return conv2d_reference(image, filters, padding, problem=problem)
 
     def launch_config(self, problem: ConvProblem) -> LaunchConfig:
         valid = problem.as_valid()
@@ -68,12 +69,21 @@ class NaiveDirectKernel:
 
         outputs = valid.filters * valid.out_height * valid.out_width
         warp_count = outputs / arch.warp_size
-        taps = k * k * valid.channels
+        taps = k * k * valid.channels_per_group
 
         # Image taps: a warp covers contiguous output columns (runs break
         # at output-row ends), so each tap is one mostly-coalesced read.
+        # Strided outputs spread the lane addresses by the stride; NHWC
+        # images spread them further by the channel count (channels are
+        # innermost, so the per-tap channel walk is contiguous instead).
+        s = valid.stride
+        x_step = s * _F32
+        row_step = valid.width * s * _F32
+        if valid.layout is Layout.NHWC:
+            x_step *= valid.channels
+            row_step *= valid.channels
         run = min(valid.out_width, arch.warp_size)
-        gather = (lanes % run) * _F32 + (lanes // run) * valid.width * _F32
+        gather = (lanes % run) * x_step + (lanes // run) * row_step
         # Neighbouring taps and the F output maps re-read the same lines;
         # the L2 catches the K*K-window repeats (the F-fold repeats are
         # spread too far apart in time to credit).
@@ -91,7 +101,12 @@ class NaiveDirectKernel:
         tracer.flops(2.0 * taps * outputs)
 
         out_run = min(valid.out_width, arch.warp_size)
-        out_pat = (lanes % out_run) * _F32 + (lanes // out_run) * valid.out_width * _F32
+        out_x = _F32
+        out_row = valid.out_width * _F32
+        if valid.layout is Layout.NHWC:
+            out_x *= valid.filters
+            out_row *= valid.filters
+        out_pat = (lanes % out_run) * out_x + (lanes // out_run) * out_row
         tracer.gmem_write(out_pat, _F32, count=warp_count, site="gm.store_out")
 
         return tracer.finish(name=self.name, launch=launch)

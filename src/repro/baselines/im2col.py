@@ -32,11 +32,15 @@ __all__ = ["im2col_matrix", "Im2colKernel"]
 _F32 = 4
 
 
-def im2col_matrix(image: np.ndarray, kernel_size: int) -> np.ndarray:
+def im2col_matrix(image: np.ndarray, kernel_size: int, stride: int = 1,
+                  dilation: int = 1) -> np.ndarray:
     """Lower a (C, H, W) image to the (C*K*K, OH*OW) im2col matrix.
 
     Row ``(c*K + ky)*K + kx`` holds the input window element ``(ky, kx)``
     of channel ``c`` for every output position, row-major over (oy, ox).
+    Strided/dilated lowering samples the same windows the convolution
+    taps: window (ky, kx) of output (oy, ox) reads input pixel
+    ``(oy*stride + ky*dilation, ox*stride + kx*dilation)``.
     """
     img = np.asarray(image, dtype=np.float32)
     if img.ndim == 2:
@@ -45,14 +49,23 @@ def im2col_matrix(image: np.ndarray, kernel_size: int) -> np.ndarray:
         raise ShapeError("image must be (C, H, W)")
     c, h, w = img.shape
     k = kernel_size
-    if k < 1 or k > min(h, w):
-        raise ShapeError("kernel_size %d does not fit image %dx%d" % (k, h, w))
-    oh, ow = h - k + 1, w - k + 1
+    span = dilation * (k - 1) + 1
+    if k < 1 or span > min(h, w):
+        raise ShapeError(
+            "kernel_size %d (dilated span %d) does not fit image %dx%d"
+            % (k, span, h, w))
+    oh = (h - span) // stride + 1
+    ow = (w - span) // stride + 1
     rows = []
     for ci in range(c):
         for ky in range(k):
             for kx in range(k):
-                rows.append(img[ci, ky : ky + oh, kx : kx + ow].reshape(-1))
+                y0 = ky * dilation
+                x0 = kx * dilation
+                rows.append(
+                    img[ci,
+                        y0 : y0 + (oh - 1) * stride + 1 : stride,
+                        x0 : x0 + (ow - 1) * stride + 1 : stride].reshape(-1))
     return np.stack(rows)
 
 
@@ -72,18 +85,19 @@ class Im2colKernel:
 
     # ------------------------------------------------------------------
     def gemm_shape(self, problem: ConvProblem) -> GemmShape:
+        """The per-group GEMM: grouped problems run ``groups`` of these."""
         valid = problem.as_valid()
         k = valid.kernel_size
         return GemmShape(
-            m=valid.filters,
+            m=valid.filters_per_group,
             n=valid.out_height * valid.out_width,
-            k=valid.channels * k * k,
+            k=valid.channels_per_group * k * k,
         )
 
     def workspace_bytes(self, problem: ConvProblem) -> int:
         """Extra global memory for the lowered matrix (the K*K blow-up)."""
         shape = self.gemm_shape(problem)
-        return shape.k * shape.n * _F32
+        return shape.k * shape.n * _F32 * problem.groups
 
     # ------------------------------------------------------------------
     def run(
@@ -91,23 +105,43 @@ class Im2colKernel:
         image: np.ndarray,
         filters: np.ndarray,
         padding: Padding = Padding.VALID,
+        problem: Optional[ConvProblem] = None,
     ) -> np.ndarray:
-        img = np.asarray(image, dtype=np.float32)
-        if img.ndim == 2:
-            img = img[np.newaxis]
-        flt = np.asarray(filters, dtype=np.float32)
-        if flt.ndim == 3:
-            flt = flt[:, np.newaxis]
-        problem = ConvProblem(
-            height=img.shape[1], width=img.shape[2], channels=img.shape[0],
-            filters=flt.shape[0], kernel_size=flt.shape[2], padding=padding,
-        )
+        if problem is None:
+            img = np.asarray(image, dtype=np.float32)
+            if img.ndim == 2:
+                img = img[np.newaxis]
+            flt = np.asarray(filters, dtype=np.float32)
+            if flt.ndim == 3:
+                flt = flt[:, np.newaxis]
+            problem = ConvProblem(
+                height=img.shape[1], width=img.shape[2], channels=img.shape[0],
+                filters=flt.shape[0], kernel_size=flt.shape[2], padding=padding,
+            )
+        else:
+            # padded_image canonicalizes to CHW itself; handing it the
+            # raw array keeps NHWC inputs single-converted.
+            img = image
+            flt = problem.check_filters(filters)
         padded = problem.padded_image(img)
         valid = problem.as_valid()
-        lowered = im2col_matrix(padded, valid.kernel_size)
-        a = flt.reshape(valid.filters, -1)
-        out = self.gemm.run(a, lowered)
-        return out.reshape(problem.output_shape)
+        if valid.groups == 1:
+            lowered = im2col_matrix(padded, valid.kernel_size,
+                                    valid.stride, valid.dilation)
+            a = flt.reshape(valid.filters, -1)
+            out = self.gemm.run(a, lowered)
+        else:
+            cpg, fpg = valid.channels_per_group, valid.filters_per_group
+            parts = []
+            for g in range(valid.groups):
+                lowered = im2col_matrix(
+                    padded[g * cpg : (g + 1) * cpg], valid.kernel_size,
+                    valid.stride, valid.dilation)
+                a = flt[g * fpg : (g + 1) * fpg].reshape(fpg, -1)
+                parts.append(self.gemm.run(a, lowered))
+            out = np.concatenate(parts, axis=0)
+        return problem.layout_output(
+            out.reshape(valid.filters, valid.out_height, valid.out_width))
 
     # ------------------------------------------------------------------
     def cost(self, problem: ConvProblem) -> KernelCost:
@@ -117,13 +151,16 @@ class Im2colKernel:
         gemm_cost = self.gemm.cost(shape)
 
         # Lowering kernel: one thread per lowered element; reads gather
-        # from the image (contiguous runs of OW), writes are dense.
+        # from the image (contiguous runs of OW, spread by the stride),
+        # writes are dense.
         tracer = KernelTracer(self.arch, self.bank_policy)
         lanes = np.arange(self.arch.warp_size, dtype=np.int64)
         total = shape.k * shape.n
         ow = valid.out_width
+        s = valid.stride
         run = min(ow, self.arch.warp_size)
-        gather = (lanes % run) * _F32 + (lanes // run) * valid.width * _F32
+        gather = ((lanes % run) * s * _F32
+                  + (lanes // run) * valid.width * s * _F32)
         reqs = total / self.arch.warp_size
         tracer.gmem_read(gather, _F32, count=reqs, site="gm.im2col_gather",
                          l2_reuse=float(valid.kernel_size ** 2))
@@ -139,13 +176,17 @@ class Im2colKernel:
 
         # Merge: the GEMM dominates; report under the GEMM's launch with
         # both launches' traffic and two kernel launches of overhead.
+        # Grouped problems run the identical per-group pipeline ``groups``
+        # times: scale the merged ledger and the launch count.
         gemm_cost.ledger.merge(lower_cost.ledger)
+        if valid.groups > 1:
+            gemm_cost.ledger.scale(float(valid.groups))
         return KernelCost(
             name=self.name,
             launch=gemm_cost.launch,
             ledger=gemm_cost.ledger,
             software_prefetch=True,
-            launches=2,
+            launches=2 * valid.groups,
         )
 
     # ------------------------------------------------------------------

@@ -109,25 +109,39 @@ class ImplicitGemmKernel:
         image: np.ndarray,
         filters: np.ndarray,
         padding: Padding = Padding.VALID,
+        problem: Optional[ConvProblem] = None,
     ) -> np.ndarray:
         """Functional execution: the implicit lowering made explicit."""
-        img = np.asarray(image, dtype=np.float32)
-        if img.ndim == 2:
-            img = img[np.newaxis]
-        flt = np.asarray(filters, dtype=np.float32)
-        if flt.ndim == 3:
-            flt = flt[:, np.newaxis]
-        if img.ndim != 3 or flt.ndim != 4:
-            raise ShapeError("image must be (C,H,W) and filters (F,C,K,K)")
-        problem = ConvProblem(
-            height=img.shape[1], width=img.shape[2], channels=img.shape[0],
-            filters=flt.shape[0], kernel_size=flt.shape[2], padding=padding,
-        )
+        if problem is None:
+            img = np.asarray(image, dtype=np.float32)
+            if img.ndim == 2:
+                img = img[np.newaxis]
+            flt = np.asarray(filters, dtype=np.float32)
+            if flt.ndim == 3:
+                flt = flt[:, np.newaxis]
+            if img.ndim != 3 or flt.ndim != 4:
+                raise ShapeError("image must be (C,H,W) and filters (F,C,K,K)")
+            problem = ConvProblem(
+                height=img.shape[1], width=img.shape[2], channels=img.shape[0],
+                filters=flt.shape[0], kernel_size=flt.shape[2], padding=padding,
+            )
+        else:
+            if problem.groups != 1:
+                raise ShapeError(
+                    "the implicit-GEMM kernel handles ungrouped convolution, "
+                    "got %s" % problem.describe())
+            # padded_image canonicalizes to CHW itself; handing it the
+            # raw array keeps NHWC inputs single-converted.
+            img = image
+            flt = problem.check_filters(filters)
         padded = problem.padded_image(img)
         valid = problem.as_valid()
-        lowered = im2col_matrix(padded, valid.kernel_size)
+        lowered = im2col_matrix(padded, valid.kernel_size,
+                                valid.stride, valid.dilation)
         a = flt.reshape(valid.filters, -1)
-        return (a @ lowered).reshape(problem.output_shape)
+        return problem.layout_output(
+            (a @ lowered).reshape(valid.filters, valid.out_height,
+                                  valid.out_width))
 
     # ------------------------------------------------------------------
     def cost(self, problem: ConvProblem) -> KernelCost:
@@ -176,8 +190,10 @@ class ImplicitGemmKernel:
         # contiguous input pixels within an output row; runs break at row
         # ends.  Scalar loads (gather addressing defeats vectorization).
         ow = valid.out_width
+        s = valid.stride
         run = min(ow, arch.warp_size)
-        b_addrs = (lanes % run) * _F32 + (lanes // run) * valid.width * _F32
+        b_addrs = ((lanes % run) * s * _F32
+                   + (lanes // run) * valid.width * s * _F32)
         b_reqs_per_row = t.bn / arch.warp_size
         # The K*K lowered rows of one channel re-read the same input
         # lines within a handful of k-steps: classic L2 temporal reuse.

@@ -90,7 +90,15 @@ class WinogradConvolution:
         image: np.ndarray,
         filters: np.ndarray,
         padding: Padding = Padding.VALID,
+        problem: "Optional[ConvProblem]" = None,
     ) -> np.ndarray:
+        if problem is not None:
+            if not problem.has_default_axes:
+                raise ShapeError(
+                    "transform-domain kernels handle only default axes "
+                    "(stride=1, dilation=1, groups=1, NCHW), got %s"
+                    % problem.describe())
+            padding = problem.padding
         img = np.asarray(image, dtype=np.float32)
         if img.ndim == 2:
             img = img[np.newaxis]

@@ -177,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "architecture (default: all presets)")
     backends.add_argument("--json", action="store_true",
                           help="emit machine-readable JSON records")
+    backends.add_argument("--matrix", action="store_true",
+                          help="print the backend x generalized-axis "
+                          "capability matrix (stride/dilation/groups/layout) "
+                          "instead of the per-arch applicability table")
 
     claims = sub.add_parser("claims",
                             help="verify every quantitative claim of the paper")
@@ -187,9 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
         "audit", help="cross-check the fast trace generators "
         "(repro.gpu.fastsim) against the interpreted SIMT oracle: every "
         "trial must produce a byte-identical KernelCost and output")
-    audit.add_argument("--case", choices=("special", "general", "both"),
+    audit.add_argument("--case",
+                       choices=("special", "general", "depthwise",
+                                "both", "all"),
                        default="both",
-                       help="which kernel pair(s) to audit (default: both)")
+                       help="which kernel pair(s) to audit: 'both' is the "
+                       "classic special+general pair, 'all' adds the "
+                       "depthwise grid-Z batch (default: both)")
     audit.add_argument("--arch", choices=sorted(ARCHITECTURES),
                        default="kepler")
     audit.add_argument("--trials", type=int, default=4, metavar="N",
@@ -658,11 +666,45 @@ _BACKEND_PROBES = (
 )
 
 
+def _backends_matrix(registry, args) -> int:
+    """The backend x generalized-axis capability matrix (from AXES)."""
+    records = []
+    for backend in registry:
+        axes = backend.AXES
+        records.append({
+            "name": backend.name,
+            "stride": bool(axes.get("stride", False)),
+            "dilation": bool(axes.get("dilation", False)),
+            "groups": axes.get("groups", "single"),
+            "layouts": list(axes.get("layouts", ("nchw",))),
+        })
+    if args.json:
+        print(json.dumps(records, indent=2))
+        return 0
+    width = max(len(r["name"]) for r in records) + 2
+    header = ("backend".ljust(width) + "stride".ljust(8)
+              + "dilation".ljust(10) + "groups".ljust(11) + "layouts")
+    print(header)
+    print("-" * len(header))
+    for r in records:
+        print(r["name"].ljust(width)
+              + ("yes" if r["stride"] else "-").ljust(8)
+              + ("yes" if r["dilation"] else "-").ljust(10)
+              + r["groups"].ljust(11)
+              + ",".join(r["layouts"]))
+    print()
+    print("groups: single = ungrouped only; depthwise = groups == channels; "
+          "any = every divisor")
+    return 0
+
+
 def _cmd_backends(args) -> int:
     from repro.conv.tensors import ConvProblem
     from repro.kernels import default_registry
 
     registry = default_registry()
+    if args.matrix:
+        return _backends_matrix(registry, args)
     arch_names = [args.arch] if args.arch else sorted(ARCHITECTURES)
     probes = [
         (label, ConvProblem.square(n, k, channels=c, filters=f))
@@ -742,7 +784,12 @@ def _cmd_audit(args) -> int:
     from repro.gpu.memory import BankConflictPolicy
 
     arch = ARCHITECTURES[args.arch]
-    cases = ("special", "general") if args.case == "both" else (args.case,)
+    if args.case == "both":
+        cases = ("special", "general")
+    elif args.case == "all":
+        cases = ("special", "general", "depthwise")
+    else:
+        cases = (args.case,)
     policies = (BankConflictPolicy.WORD_MERGE, BankConflictPolicy.PAPER)
     rng = np.random.default_rng(args.seed)
     records = []
@@ -760,6 +807,19 @@ def _cmd_audit(args) -> int:
                         (oh + k - 1, ow + k - 1)).astype(np.float32)
                     filters = rng.standard_normal(
                         (int(rng.integers(1, 5)), k, k)).astype(np.float32)
+                elif case == "depthwise":
+                    from repro.core.depthwise import DepthwiseKernel
+
+                    kern = DepthwiseKernel(arch, bank_policy=policy)
+                    cfg = kern.config
+                    oh = cfg.block_h * int(rng.integers(1, 3))
+                    ow = cfg.block_w
+                    channels = int(rng.integers(2, 5))
+                    mult = int(rng.integers(1, 3))
+                    image = rng.standard_normal(
+                        (channels, oh + k - 1, ow + k - 1)).astype(np.float32)
+                    filters = rng.standard_normal(
+                        (channels * mult, 1, k, k)).astype(np.float32)
                 else:
                     cfg = GeneralCaseConfig(**_AUDIT_GENERAL_CONFIG)
                     kern = FastGeneralKernel(arch, config=cfg,

@@ -34,12 +34,19 @@ class BlockSpec:
         if self.block_h < 1 or self.block_w < 1:
             raise ConfigurationError("block extents must be positive")
 
-    def input_rows(self, kernel_size: int) -> int:
-        """Input rows a block touches, including the bottom halo."""
-        return self.block_h + kernel_size - 1
+    def input_rows(self, kernel_size: int, stride: int = 1,
+                   dilation: int = 1) -> int:
+        """Input rows a block touches, including the bottom halo.
 
-    def input_cols(self, kernel_size: int) -> int:
-        return self.block_w + kernel_size - 1
+        Strided blocks advance ``stride`` input rows per output row and
+        dilated taps span ``dilation * (K-1) + 1`` rows; at the default
+        axes this is the paper's ``block_h + K - 1``.
+        """
+        return (self.block_h - 1) * stride + dilation * (kernel_size - 1) + 1
+
+    def input_cols(self, kernel_size: int, stride: int = 1,
+                   dilation: int = 1) -> int:
+        return (self.block_w - 1) * stride + dilation * (kernel_size - 1) + 1
 
 
 @dataclass(frozen=True)
@@ -110,10 +117,10 @@ class BlockGrid:
             out_x0=out_x0,
             out_rows=min(s.block_h, p.out_height - out_y0),
             out_cols=min(s.block_w, p.out_width - out_x0),
-            in_y0=out_y0,
-            in_x0=out_x0,
-            in_rows=s.input_rows(p.kernel_size),
-            in_cols=s.input_cols(p.kernel_size),
+            in_y0=out_y0 * p.stride,
+            in_x0=out_x0 * p.stride,
+            in_rows=s.input_rows(p.kernel_size, p.stride, p.dilation),
+            in_cols=s.input_cols(p.kernel_size, p.stride, p.dilation),
             tile_rows=s.block_h,
             tile_cols=s.block_w,
         )
@@ -125,8 +132,10 @@ class BlockGrid:
 
     def input_pixels_read(self) -> int:
         """Total input pixels read by all blocks of one channel (with halos)."""
-        k = self.problem.kernel_size
-        per_block = self.spec.input_rows(k) * self.spec.input_cols(k)
+        p = self.problem
+        k = p.kernel_size
+        per_block = (self.spec.input_rows(k, p.stride, p.dilation)
+                     * self.spec.input_cols(k, p.stride, p.dilation))
         return per_block * self.total_blocks
 
 

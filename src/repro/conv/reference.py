@@ -7,76 +7,109 @@ cross-correlation: filters are not flipped.
 
 The implementation is a tap-loop over (dy, dx) with a ``tensordot``
 across channels, which is exact, simple to audit, and fast enough to act
-as a golden model for multi-megapixel tests.
+as a golden model for multi-megapixel tests.  It handles every problem
+axis — stride, dilation, groups, and both layouts — and at the default
+axes it reduces to the historical dense path operation-for-operation.
+
+:func:`conv2d_oracle` is the deliberately-naive seven-loop scalar model
+(filters, rows, cols, channels, taps) the generalized reference is
+property-tested against; it shares no vectorized slicing with the
+reference, so an indexing mistake in one cannot hide in the other.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 from repro.conv.tensors import ConvProblem, Padding
 from repro.errors import ShapeError
 
-__all__ = ["conv2d_reference", "conv2d_single_channel"]
+__all__ = ["conv2d_reference", "conv2d_single_channel", "conv2d_oracle"]
 
 
 def conv2d_reference(
     image: np.ndarray,
     filters: np.ndarray,
     padding: Padding = Padding.VALID,
+    problem: Optional[ConvProblem] = None,
 ) -> np.ndarray:
     """Multi-channel 2-D cross-correlation.
 
     Parameters
     ----------
     image:
-        ``(C, H, W)`` array (a 2-D array is promoted to one channel).
+        ``(C, H, W)`` array (a 2-D array is promoted to one channel);
+        ``(H, W, C)`` when ``problem.layout`` is NHWC.
     filters:
-        ``(F, C, K, K)`` array (2-D/3-D arrays are promoted).
+        ``(F, C/groups, K, K)`` array (2-D/3-D arrays are promoted).
     padding:
         Boundary mode; 'same' zero-pads so the output matches the input
-        extent.
+        extent.  Ignored when ``problem`` is given.
+    problem:
+        Full problem description carrying stride/dilation/groups/layout.
+        When omitted, the problem is inferred from the array shapes with
+        default axes (stride 1, dilation 1, one group, NCHW).
 
     Returns
     -------
-    ``(F, OH, OW)`` float32 array.
+    ``(F, OH, OW)`` float32 array (``(OH, OW, F)`` for NHWC problems).
     """
-    img = np.asarray(image, dtype=np.float32)
-    if img.ndim == 2:
-        img = img[np.newaxis]
-    flt = np.asarray(filters, dtype=np.float32)
-    if flt.ndim == 2:
-        flt = flt[np.newaxis, np.newaxis]
-    elif flt.ndim == 3:
-        flt = flt[:, np.newaxis]
-    if img.ndim != 3 or flt.ndim != 4:
-        raise ShapeError("image must be (C,H,W) and filters (F,C,K,K)")
-    if flt.shape[2] != flt.shape[3]:
-        raise ShapeError("only square filters are supported")
+    if problem is None:
+        img = np.asarray(image, dtype=np.float32)
+        if img.ndim == 2:
+            img = img[np.newaxis]
+        flt = np.asarray(filters, dtype=np.float32)
+        if flt.ndim == 2:
+            flt = flt[np.newaxis, np.newaxis]
+        elif flt.ndim == 3:
+            flt = flt[:, np.newaxis]
+        if img.ndim != 3 or flt.ndim != 4:
+            raise ShapeError("image must be (C,H,W) and filters (F,C,K,K)")
+        if flt.shape[2] != flt.shape[3]:
+            raise ShapeError("only square filters are supported")
 
-    problem = ConvProblem(
-        height=img.shape[1],
-        width=img.shape[2],
-        channels=img.shape[0],
-        filters=flt.shape[0],
-        kernel_size=flt.shape[2],
-        padding=padding,
-    )
-    img = problem.padded_image(img)
-    if flt.shape[1] != img.shape[0]:
-        raise ShapeError(
-            "filters have %d channels, image has %d" % (flt.shape[1], problem.channels)
+        problem = ConvProblem(
+            height=img.shape[1],
+            width=img.shape[2],
+            channels=img.shape[0],
+            filters=flt.shape[0],
+            kernel_size=flt.shape[2],
+            padding=padding,
         )
+        if flt.shape[1] != img.shape[0]:
+            raise ShapeError(
+                "filters have %d channels, image has %d"
+                % (flt.shape[1], problem.channels)
+            )
+        image = img
+        filters = flt
+
+    img = problem.padded_image(image)
+    flt = problem.check_filters(filters)
 
     k = problem.kernel_size
+    s, d, g = problem.stride, problem.dilation, problem.groups
     oh, ow = problem.out_height, problem.out_width
+    cpg, fpg = problem.channels_per_group, problem.filters_per_group
     out = np.zeros((problem.filters, oh, ow), dtype=np.float64)
     for dy in range(k):
         for dx in range(k):
-            window = img[:, dy : dy + oh, dx : dx + ow]
+            window = img[:,
+                         dy * d : dy * d + (oh - 1) * s + 1 : s,
+                         dx * d : dx * d + (ow - 1) * s + 1 : s]
             taps = flt[:, :, dy, dx]
-            out += np.tensordot(taps, window, axes=([1], [0]))
-    return out.astype(np.float32)
+            if g == 1:
+                out += np.tensordot(taps, window, axes=([1], [0]))
+            else:
+                for gi in range(g):
+                    out[gi * fpg : (gi + 1) * fpg] += np.tensordot(
+                        taps[gi * fpg : (gi + 1) * fpg],
+                        window[gi * cpg : (gi + 1) * cpg],
+                        axes=([1], [0]),
+                    )
+    return problem.layout_output(out.astype(np.float32))
 
 
 def conv2d_single_channel(image: np.ndarray, filters: np.ndarray,
@@ -89,3 +122,33 @@ def conv2d_single_channel(image: np.ndarray, filters: np.ndarray,
     if img.ndim != 2:
         raise ShapeError("special-case image must be 2-D, got %d-D" % img.ndim)
     return conv2d_reference(img, filters, padding)
+
+
+def conv2d_oracle(problem: ConvProblem, image: np.ndarray,
+                  filters: np.ndarray) -> np.ndarray:
+    """Seven-loop scalar cross-correlation: the oracle of last resort.
+
+    Wilfully unoptimized — every output element is an explicit scalar
+    accumulation over (channel, tap-row, tap-col) — so it exercises the
+    stride/dilation/group index arithmetic one multiply at a time.  Use
+    only on small shapes.
+    """
+    img = problem.padded_image(image).astype(np.float64)
+    flt = problem.check_filters(filters).astype(np.float64)
+    k = problem.kernel_size
+    s, d = problem.stride, problem.dilation
+    oh, ow = problem.out_height, problem.out_width
+    cpg, fpg = problem.channels_per_group, problem.filters_per_group
+    out = np.zeros((problem.filters, oh, ow), dtype=np.float64)
+    for f in range(problem.filters):
+        c0 = (f // fpg) * cpg
+        for oy in range(oh):
+            for ox in range(ow):
+                acc = 0.0
+                for c in range(cpg):
+                    for ky in range(k):
+                        for kx in range(k):
+                            acc += (img[c0 + c, oy * s + ky * d, ox * s + kx * d]
+                                    * flt[f, c, ky, kx])
+                out[f, oy, ox] = acc
+    return problem.layout_output(out.astype(np.float32))

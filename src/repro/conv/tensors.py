@@ -6,9 +6,18 @@ images), filter size ``K``, channel count ``C`` and filter count ``F``
 boundary-handling mode, and provides the derived quantities every kernel
 and benchmark needs (output extent, nominal FLOPs, tensor shapes).
 
-Layouts follow the paper (and Caffe/cuDNN of its era): images are CHW,
-filters are FCKK, outputs are F x OH x OW, all ``float32`` — the 4-byte
-``W_CD`` of the paper's bank-width model.
+Beyond the paper's dense unit-stride case the problem model carries the
+axes real CNN layers use: ``stride``, ``dilation``, ``groups`` (with
+``groups == channels`` being depthwise convolution), and the tensor
+``layout`` (NCHW or NHWC).  All four default to the paper's setting —
+stride 1, dilation 1, a single group, channels-first — and every derived
+quantity reduces exactly to the historical formula at those defaults.
+
+Layouts follow the paper (and Caffe/cuDNN of its era) by default: images
+are CHW, filters are F x C/g x K x K, outputs are F x OH x OW, all
+``float32`` — the 4-byte ``W_CD`` of the paper's bank-width model.  NHWC
+problems carry HWC images and OH x OW x F outputs; kernels canonicalize
+to channels-first internally via :meth:`ConvProblem.chw_image`.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 
-__all__ = ["Padding", "ConvProblem", "FLOAT_BYTES"]
+__all__ = ["Padding", "Layout", "ConvProblem", "FLOAT_BYTES"]
 
 #: Bytes per element of the basic computation data type (float).
 FLOAT_BYTES = 4
@@ -29,13 +38,27 @@ FLOAT_BYTES = 4
 class Padding(enum.Enum):
     """Boundary handling for the convolution."""
 
-    VALID = "valid"    # output shrinks by K-1
-    SAME = "same"      # zero-pad so output extent equals input extent
+    VALID = "valid"    # output shrinks by the dilated span minus one
+    SAME = "same"      # zero-pad so output extent equals ceil(extent/stride)
+
+
+class Layout(enum.Enum):
+    """Memory order of image and output tensors (no batch dimension)."""
+
+    NCHW = "nchw"      # channels-first: image (C,H,W), output (F,OH,OW)
+    NHWC = "nhwc"      # channels-last:  image (H,W,C), output (OH,OW,F)
 
 
 @dataclass(frozen=True)
 class ConvProblem:
-    """One convolution instance: C x H x W image, F filters of size K x K."""
+    """One convolution instance: C x H x W image, F filters of size K x K.
+
+    ``stride``/``dilation`` are square (the same factor on both spatial
+    axes), matching the shapes CNN layers actually use.  ``groups``
+    partitions channels and filters into independent convolutions;
+    ``groups == channels`` is depthwise.  ``layout`` states how the
+    *arrays* are ordered — the arithmetic is layout-invariant.
+    """
 
     height: int
     width: int
@@ -43,20 +66,41 @@ class ConvProblem:
     filters: int
     kernel_size: int
     padding: Padding = Padding.VALID
+    stride: int = 1
+    dilation: int = 1
+    groups: int = 1
+    layout: Layout = Layout.NCHW
 
     def __post_init__(self):
         if min(self.height, self.width, self.channels, self.filters) < 1:
-            raise ShapeError("all convolution extents must be positive")
+            raise ShapeError("all convolution extents must be positive in %s"
+                             % (self.describe(),))
         if self.kernel_size < 1:
-            raise ShapeError("kernel_size must be positive")
+            raise ShapeError("kernel_size must be positive in %s"
+                             % (self.describe(),))
+        if min(self.stride, self.dilation, self.groups) < 1:
+            raise ShapeError(
+                "stride, dilation and groups must be positive in %s"
+                % (self.describe(),))
+        if self.channels % self.groups != 0:
+            raise ShapeError(
+                "groups=%d does not divide channels=%d in %s"
+                % (self.groups, self.channels, self.describe()))
+        if self.filters % self.groups != 0:
+            raise ShapeError(
+                "groups=%d does not divide filters=%d in %s"
+                % (self.groups, self.filters, self.describe()))
         if self.padding is Padding.VALID:
-            if self.kernel_size > min(self.height, self.width):
+            if self.span > min(self.height, self.width):
                 raise ShapeError(
-                    "a %dx%d filter does not fit a %dx%d image in 'valid' mode"
-                    % (self.kernel_size, self.kernel_size, self.height, self.width)
+                    "a %dx%d filter (dilated span %d) does not fit a %dx%d "
+                    "image in 'valid' mode: %s"
+                    % (self.kernel_size, self.kernel_size, self.span,
+                       self.height, self.width, self.describe())
                 )
         elif self.kernel_size % 2 == 0:
-            raise ShapeError("'same' padding requires an odd kernel_size")
+            raise ShapeError("'same' padding requires an odd kernel_size: %s"
+                             % (self.describe(),))
 
     # ------------------------------------------------------------------
     @classmethod
@@ -67,8 +111,12 @@ class ConvProblem:
         channels: int = 1,
         filters: int = 1,
         padding: Padding = Padding.VALID,
+        stride: int = 1,
+        dilation: int = 1,
+        groups: int = 1,
+        layout: Layout = Layout.NCHW,
     ) -> "ConvProblem":
-        """The paper's (N, K, C, F) parameterization."""
+        """The paper's (N, K, C, F) parameterization plus the new axes."""
         return cls(
             height=n,
             width=n,
@@ -76,35 +124,74 @@ class ConvProblem:
             filters=filters,
             kernel_size=kernel_size,
             padding=padding,
+            stride=stride,
+            dilation=dilation,
+            groups=groups,
+            layout=layout,
         )
+
+    def describe(self) -> str:
+        """The full problem tuple, for error messages and logs."""
+        return ("conv(h=%d, w=%d, c=%d, f=%d, k=%d, pad=%s, stride=%d, "
+                "dilation=%d, groups=%d, layout=%s)"
+                % (self.height, self.width, self.channels, self.filters,
+                   self.kernel_size, self.padding.value, self.stride,
+                   self.dilation, self.groups, self.layout.value))
+
+    # ------------------------------------------------------------------
+    @property
+    def span(self) -> int:
+        """Dilated receptive-field extent: ``dilation * (K-1) + 1``."""
+        return self.dilation * (self.kernel_size - 1) + 1
+
+    @property
+    def has_default_axes(self) -> bool:
+        """True for the paper's setting: dense, ungrouped, channels-first."""
+        return (self.stride == 1 and self.dilation == 1
+                and self.groups == 1 and self.layout is Layout.NCHW)
+
+    @property
+    def channels_per_group(self) -> int:
+        return self.channels // self.groups
+
+    @property
+    def filters_per_group(self) -> int:
+        return self.filters // self.groups
 
     @property
     def pad(self) -> int:
         """Zero-padding applied to each image border."""
-        return (self.kernel_size - 1) // 2 if self.padding is Padding.SAME else 0
+        if self.padding is Padding.SAME:
+            return self.dilation * (self.kernel_size - 1) // 2
+        return 0
 
     @property
     def out_height(self) -> int:
         if self.padding is Padding.SAME:
-            return self.height
-        return self.height - self.kernel_size + 1
+            return (self.height - 1) // self.stride + 1
+        return (self.height - self.span) // self.stride + 1
 
     @property
     def out_width(self) -> int:
         if self.padding is Padding.SAME:
-            return self.width
-        return self.width - self.kernel_size + 1
+            return (self.width - 1) // self.stride + 1
+        return (self.width - self.span) // self.stride + 1
 
     @property
     def image_shape(self) -> tuple:
+        if self.layout is Layout.NHWC:
+            return (self.height, self.width, self.channels)
         return (self.channels, self.height, self.width)
 
     @property
     def filter_shape(self) -> tuple:
-        return (self.filters, self.channels, self.kernel_size, self.kernel_size)
+        return (self.filters, self.channels_per_group,
+                self.kernel_size, self.kernel_size)
 
     @property
     def output_shape(self) -> tuple:
+        if self.layout is Layout.NHWC:
+            return (self.out_height, self.out_width, self.filters)
         return (self.filters, self.out_height, self.out_width)
 
     @property
@@ -112,9 +199,11 @@ class ConvProblem:
         """Nominal operation count: one multiply + one add per tap.
 
         This is the count the paper's GFlop/s figures are normalized by.
+        Grouping divides the per-output channel fan-in by ``groups``.
         """
         k = self.kernel_size
-        return 2 * k * k * self.channels * self.filters * self.out_height * self.out_width
+        return (2 * k * k * self.channels_per_group * self.filters
+                * self.out_height * self.out_width)
 
     @property
     def image_bytes(self) -> int:
@@ -123,7 +212,7 @@ class ConvProblem:
     @property
     def filter_bytes(self) -> int:
         k = self.kernel_size
-        return self.filters * self.channels * k * k * FLOAT_BYTES
+        return self.filters * self.channels_per_group * k * k * FLOAT_BYTES
 
     @property
     def output_bytes(self) -> int:
@@ -131,8 +220,8 @@ class ConvProblem:
 
     @property
     def max_pixel_reuse(self) -> int:
-        """Upper bound on uses of one input pixel: K * K * F (Sec. 2.2)."""
-        return self.kernel_size * self.kernel_size * self.filters
+        """Upper bound on uses of one input pixel: K * K * F/g (Sec. 2.2)."""
+        return self.kernel_size * self.kernel_size * self.filters_per_group
 
     def as_valid(self) -> "ConvProblem":
         """The equivalent 'valid' problem on the zero-padded image.
@@ -149,17 +238,54 @@ class ConvProblem:
             padding=Padding.VALID,
         )
 
+    def single_group(self) -> "ConvProblem":
+        """One group's slice of a grouped problem, as an NCHW problem.
+
+        A grouped convolution is ``groups`` independent convolutions of
+        ``channels/groups`` input channels onto ``filters/groups``
+        outputs; kernels that handle grouping by iteration work on this
+        per-group problem.
+        """
+        return replace(
+            self,
+            channels=self.channels_per_group,
+            filters=self.filters_per_group,
+            groups=1,
+            layout=Layout.NCHW,
+        )
+
     # ------------------------------------------------------------------
     def check_image(self, image: np.ndarray) -> np.ndarray:
-        """Validate and canonicalize an image array (HW or CHW)."""
+        """Validate and canonicalize an image array, in problem layout.
+
+        2-D arrays are promoted to one channel (unambiguous in either
+        layout).  The returned array keeps the problem's layout; use
+        :meth:`chw_image` when channels-first indexing is needed.
+        """
         arr = np.asarray(image, dtype=np.float32)
         if arr.ndim == 2:
-            arr = arr[np.newaxis]
+            arr = (arr[..., np.newaxis] if self.layout is Layout.NHWC
+                   else arr[np.newaxis])
         if arr.shape != self.image_shape:
             raise ShapeError(
-                "image shape %s does not match problem %s" % (arr.shape, self.image_shape)
+                "image shape %s does not match %s layout shape %s of %s"
+                % (arr.shape, self.layout.value, self.image_shape,
+                   self.describe())
             )
         return arr
+
+    def chw_image(self, image: np.ndarray) -> np.ndarray:
+        """Validate ``image`` and return it channels-first (C, H, W)."""
+        arr = self.check_image(image)
+        if self.layout is Layout.NHWC:
+            arr = np.ascontiguousarray(np.moveaxis(arr, 2, 0))
+        return arr
+
+    def layout_output(self, chw_out: np.ndarray) -> np.ndarray:
+        """Convert a canonical (F, OH, OW) output into the problem layout."""
+        if self.layout is Layout.NHWC:
+            return np.ascontiguousarray(np.moveaxis(chw_out, 0, 2))
+        return chw_out
 
     def check_filters(self, filters: np.ndarray) -> np.ndarray:
         """Validate and canonicalize a filter array (KK, FKK or FCKK)."""
@@ -170,13 +296,14 @@ class ConvProblem:
             arr = arr[:, np.newaxis]
         if arr.shape != self.filter_shape:
             raise ShapeError(
-                "filter shape %s does not match problem %s" % (arr.shape, self.filter_shape)
+                "filter shape %s does not match shape %s of %s"
+                % (arr.shape, self.filter_shape, self.describe())
             )
         return arr
 
     def padded_image(self, image: np.ndarray) -> np.ndarray:
-        """Zero-pad ``image`` according to the padding mode."""
-        arr = self.check_image(image)
+        """Zero-pad ``image`` per the padding mode; always returns (C,H,W)."""
+        arr = self.chw_image(image)
         if self.pad == 0:
             return arr
         p = self.pad

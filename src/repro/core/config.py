@@ -73,24 +73,37 @@ class SpecialCaseConfig:
     def block_spec(self) -> BlockSpec:
         return BlockSpec(block_h=self.block_h, block_w=self.block_w)
 
-    def smem_row_floats(self, kernel_size: int, n: int) -> int:
-        """Floats per staged image row: W + K - 1, padded to vector units."""
-        return _round_up(self.block_w + kernel_size - 1, n)
+    def smem_row_floats(self, kernel_size: int, n: int, stride: int = 1,
+                        dilation: int = 1) -> int:
+        """Floats per staged image row, padded to vector units.
 
-    def smem_bytes(self, kernel_size: int, n: int, elem_bytes: int = 4) -> int:
-        """Shared memory per block: a K-row circular window of the tile."""
-        return kernel_size * self.smem_row_floats(kernel_size, n) * elem_bytes
+        The block's input-row footprint is ``(W-1)*stride + span`` where
+        ``span = dilation*(K-1) + 1``; at the default axes this is the
+        paper's ``W + K - 1``.
+        """
+        footprint = (self.block_w - 1) * stride + dilation * (kernel_size - 1) + 1
+        return _round_up(footprint, n)
 
-    def registers_per_thread(self, kernel_size: int, n: int) -> int:
+    def smem_bytes(self, kernel_size: int, n: int, elem_bytes: int = 4,
+                   stride: int = 1, dilation: int = 1) -> int:
+        """Shared memory per block: a span-row circular window of the tile."""
+        span = dilation * (kernel_size - 1) + 1
+        return span * self.smem_row_floats(kernel_size, n, stride,
+                                           dilation) * elem_bytes
+
+    def registers_per_thread(self, kernel_size: int, n: int, stride: int = 1,
+                             dilation: int = 1) -> int:
         """Estimated register demand per thread.
 
-        The K x (K + n - 1) pixel window (Sec. 3.2), ``n`` convolution
-        accumulators, the prefetch staging of the thread's share of the
-        next row (n pixels, double-buffered), and bookkeeping.
+        The K-row pixel window of per-thread row slices (Sec. 3.2), ``n``
+        convolution accumulators, the prefetch staging of the thread's
+        share of the next ``stride`` rows (n pixels each,
+        double-buffered), and bookkeeping.
         """
         k = kernel_size
-        window = k * (k + n - 1)
-        return window + n + 2 * n + _BOOKKEEPING_REGS
+        row_slice = (n - 1) * stride + dilation * (k - 1) + 1
+        window = k * row_slice
+        return window + n + 2 * n * stride + _BOOKKEEPING_REGS
 
 
 @dataclass(frozen=True)
@@ -176,32 +189,38 @@ class GeneralCaseConfig:
         """
         return n
 
-    def smem_image_floats(self, kernel_size: int) -> int:
+    def smem_image_floats(self, kernel_size: int, stride: int = 1,
+                          dilation: int = 1) -> int:
         k = kernel_size
-        return self.csh * (self.h + k - 1) * (self.w + k - 1)
+        halo = dilation * (k - 1)
+        return (self.csh * ((self.h - 1) * stride + halo + 1)
+                * ((self.w - 1) * stride + halo + 1))
 
     def smem_filter_floats(self, kernel_size: int, n: int) -> int:
         k = kernel_size
         return self.csh * k * k * (self.ftb + self.smem_filter_pad(n))
 
-    def smem_bytes(self, kernel_size: int, n: int, elem_bytes: int = 4) -> int:
+    def smem_bytes(self, kernel_size: int, n: int, elem_bytes: int = 4,
+                   stride: int = 1, dilation: int = 1) -> int:
         return elem_bytes * (
-            self.smem_image_floats(kernel_size) + self.smem_filter_floats(kernel_size, n)
+            self.smem_image_floats(kernel_size, stride, dilation)
+            + self.smem_filter_floats(kernel_size, n)
         )
 
-    def registers_per_thread(self, kernel_size: int, n: int) -> int:
+    def registers_per_thread(self, kernel_size: int, n: int, stride: int = 1,
+                             dilation: int = 1) -> int:
         """Estimated register demand per thread (Algorithm 2, line 1).
 
-        ``rAcc[ft][wt]`` accumulators, the ``wt + K - 1`` image row,
-        ``ft`` filter values, the thread's share of the double-buffered
-        prefetch staging, and bookkeeping.
+        ``rAcc[ft][wt]`` accumulators, the ``(wt-1)*stride + span`` image
+        row, ``ft`` filter values, the thread's share of the
+        double-buffered prefetch staging, and bookkeeping.
         """
         k = kernel_size
         acc = self.ft * self.wt
-        row = self.wt + k - 1
+        row = (self.wt - 1) * stride + dilation * (k - 1) + 1
         flt = self.ft
         prefetch = (
-            -(-self.smem_image_floats(k) // self.threads)
+            -(-self.smem_image_floats(k, stride, dilation) // self.threads)
             + -(-self.csh * k * k * self.ftb // self.threads)
         )
         return acc + row + flt + prefetch + _BOOKKEEPING_REGS

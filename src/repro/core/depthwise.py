@@ -1,0 +1,218 @@
+"""Depthwise convolution: the special-case kernel's grouped sibling.
+
+Depthwise convolution (``groups == channels``) is ``C`` independent
+single-channel convolutions — exactly the paper's Sec. 3 special case,
+one instance per channel.  The kernel maps each group to a grid-Z slice
+of the special-case launch: block (bx, by, g) convolves channel ``g``
+with its ``F/groups`` filters, reusing the C = 1 kernel's circular
+shared-memory row window, register blocking and constant-memory filter
+broadcasts verbatim.  The 2026 depthwise-serving paper (PAPERS.md)
+shows this is where the memory-efficiency analysis matters at cloud
+scale: depthwise layers are bandwidth-bound, so the bank/coalescing
+model transfers unchanged.
+
+The traced cost is the per-group special-case cost with every traffic
+counter scaled by ``groups`` (the groups are literally identical
+request streams at different base addresses) under a grid-Z-extended
+launch; :meth:`DepthwiseKernel.run_traced` drives the vectorized fast
+simulator per group so ``repro audit`` can hold the depthwise path to
+the same interpreted-oracle standard as the special case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.conv.tensors import ConvProblem, Layout, Padding
+from repro.core.bankwidth import DataType
+from repro.core.config import BEST_SPECIAL_CONFIG, SpecialCaseConfig
+from repro.core.special import SpecialCaseKernel
+from repro.errors import ConfigurationError, ShapeError
+from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
+from repro.gpu.memory.banks import BankConflictPolicy
+from repro.gpu.simt import Dim3, LaunchConfig
+from repro.gpu.timing import TimingBreakdown, TimingModel
+from repro.gpu.trace import KernelCost, publish_kernel_cost
+
+__all__ = ["DepthwiseKernel"]
+
+
+class DepthwiseKernel:
+    """One special-case convolution per channel, batched over grid Z."""
+
+    def __init__(
+        self,
+        arch: GPUArchitecture = KEPLER_K40M,
+        config: SpecialCaseConfig = BEST_SPECIAL_CONFIG,
+        matched: bool = True,
+        bank_policy: BankConflictPolicy = BankConflictPolicy.WORD_MERGE,
+        dtype: DataType = DataType.FLOAT,
+    ):
+        self.arch = arch
+        self.config = config
+        self.matched = matched
+        self.bank_policy = bank_policy
+        self.dtype = dtype
+        self.special = SpecialCaseKernel(
+            arch=arch, config=config, matched=matched,
+            bank_policy=bank_policy, dtype=dtype,
+        )
+        self.n = self.special.n
+        self.name = "depthwise[%s,%s,n=%d]" % (arch.name, dtype.label, self.n)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def group_problem(problem: ConvProblem) -> ConvProblem:
+        """The C = 1 special-case problem one group solves."""
+        return replace(
+            problem,
+            channels=1,
+            filters=problem.filters_per_group,
+            groups=1,
+            layout=Layout.NCHW,
+        )
+
+    def _check_problem(self, problem: ConvProblem) -> ConvProblem:
+        if problem.groups != problem.channels:
+            raise ConfigurationError(
+                "the depthwise kernel requires groups == channels "
+                "(one channel per group), got %s" % problem.describe())
+        # All groups' filters are resident in constant memory at once.
+        k = problem.kernel_size
+        cm_bytes = problem.filters * k * k * self.special.elem_bytes
+        if cm_bytes > self.arch.const_memory_size:
+            raise ConfigurationError(
+                "filters need %d bytes of constant memory, %s has %d"
+                % (cm_bytes, self.arch.name, self.arch.const_memory_size))
+        return problem.as_valid()
+
+    def launch_config(self, problem: ConvProblem) -> LaunchConfig:
+        valid = self._check_problem(problem)
+        g_launch = self.special.launch_config(self.group_problem(valid))
+        return replace(g_launch, grid=replace(g_launch.grid, z=valid.groups))
+
+    # ------------------------------------------------------------------
+    def _infer_problem(self, image: np.ndarray, filters: np.ndarray,
+                       padding: Padding) -> ConvProblem:
+        img = np.asarray(image, dtype=np.float32)
+        flt = np.asarray(filters, dtype=np.float32)
+        if img.ndim != 3:
+            raise ShapeError("depthwise image must be (C, H, W)")
+        if flt.ndim == 3:
+            flt = flt[:, np.newaxis]
+        if flt.ndim != 4 or flt.shape[1] != 1:
+            raise ShapeError(
+                "depthwise filters must be (F, 1, K, K), got %s"
+                % (flt.shape,))
+        return ConvProblem(
+            height=img.shape[1], width=img.shape[2], channels=img.shape[0],
+            filters=flt.shape[0], kernel_size=flt.shape[2], padding=padding,
+            groups=img.shape[0],
+        )
+
+    def run(
+        self,
+        image: np.ndarray,
+        filters: np.ndarray,
+        padding: Padding = Padding.VALID,
+        problem: Optional[ConvProblem] = None,
+    ) -> np.ndarray:
+        """Per-group special-case sweeps, reassembled channel-major."""
+        if problem is None:
+            problem = self._infer_problem(image, filters, padding)
+        valid = self._check_problem(problem)
+        img = problem.chw_image(image)
+        flt = problem.check_filters(filters)
+        fpg = valid.filters_per_group
+        gp = self.group_problem(problem)     # keeps the padding mode
+        out = np.empty((valid.filters, valid.out_height, valid.out_width),
+                       dtype=np.float32)
+        for g in range(valid.groups):
+            out[g * fpg : (g + 1) * fpg] = self.special.run(
+                img[g], flt[g * fpg : (g + 1) * fpg], problem=gp,
+            )
+        return problem.layout_output(out)
+
+    # ------------------------------------------------------------------
+    def cost(self, problem: ConvProblem) -> KernelCost:
+        """The per-group traced cost scaled to all grid-Z group slices."""
+        valid = self._check_problem(problem)
+        g_cost = self.special.cost(self.group_problem(valid))
+        ledger = g_cost.ledger
+        if valid.groups > 1:
+            ledger.scale(float(valid.groups))
+        launch = replace(g_cost.launch,
+                         grid=replace(g_cost.launch.grid, z=valid.groups))
+        cost = KernelCost(
+            name=self.name,
+            launch=launch,
+            ledger=ledger,
+            software_prefetch=g_cost.software_prefetch,
+            launches=g_cost.launches,
+        )
+        publish_kernel_cost(cost)
+        return cost
+
+    def run_traced(
+        self,
+        image: np.ndarray,
+        filters: np.ndarray,
+        audit: Optional[bool] = None,
+    ) -> Tuple[np.ndarray, KernelCost]:
+        """Fast-simulate every group and return (output, executed cost).
+
+        Each group runs through :class:`repro.gpu.fastsim.FastSpecialKernel`
+        (aligned shapes, unit stride/dilation — the simulator's domain);
+        ``audit=True`` holds every group to the interpreted SIMT oracle.
+        """
+        from repro.gpu.fastsim import FastSpecialKernel
+
+        img = np.asarray(image, dtype=np.float32)
+        flt = np.asarray(filters, dtype=np.float32)
+        if flt.ndim == 4:
+            if flt.shape[1] != 1:
+                raise ShapeError(
+                    "depthwise filters must be (F, 1, K, K), got %s"
+                    % (flt.shape,))
+            flt = flt[:, 0]
+        problem = self._infer_problem(img, flt, Padding.VALID)
+        valid = self._check_problem(problem)
+        fast = FastSpecialKernel(
+            arch=self.arch, config=self.config, matched=self.matched,
+            bank_policy=self.bank_policy,
+        )
+        fpg = valid.filters_per_group
+        out = np.empty((valid.filters, valid.out_height, valid.out_width),
+                       dtype=np.float32)
+        merged = None
+        for g in range(valid.groups):
+            g_out, g_cost = fast.run_traced(
+                img[g], flt[g * fpg : (g + 1) * fpg], audit=audit,
+            )
+            out[g * fpg : (g + 1) * fpg] = g_out
+            if merged is None:
+                merged = g_cost
+            else:
+                merged.ledger.merge(g_cost.ledger)
+        launch = replace(merged.launch,
+                         grid=replace(merged.launch.grid, z=valid.groups))
+        return out, KernelCost(
+            name=self.name,
+            launch=launch,
+            ledger=merged.ledger,
+            software_prefetch=merged.software_prefetch,
+            launches=merged.launches,
+        )
+
+    # ------------------------------------------------------------------
+    def predict(self, problem: ConvProblem,
+                model: Optional[TimingModel] = None) -> TimingBreakdown:
+        model = model or TimingModel(self.arch)
+        return model.evaluate(self.cost(problem))
+
+    def gflops(self, problem: ConvProblem,
+               model: Optional[TimingModel] = None) -> float:
+        return self.predict(problem, model).gflops(problem.flops)

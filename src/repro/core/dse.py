@@ -238,9 +238,10 @@ def best_config(
     Parameters
     ----------
     case:
-        ``"special"`` or ``"general"`` to force a kernel family;
-        ``None`` selects the special case exactly when the problem has a
-        single input channel.
+        ``"special"``, ``"general"`` or ``"depthwise"`` to force a
+        kernel family; ``None`` selects the depthwise case for
+        ``groups == channels > 1`` problems, the special case for a
+        single input channel, and the general case otherwise.
     full:
         For the general case, search the whole Table 1 axis space (the
         slow path ``reproduce_table1`` uses) instead of the shippable
@@ -256,13 +257,18 @@ def best_config(
         If no candidate configuration is valid for the problem.
     """
     if case is None:
-        case = "special" if problem.channels == 1 else "general"
-    if case not in ("special", "general"):
+        if problem.groups == problem.channels and problem.channels > 1:
+            case = "depthwise"
+        elif problem.channels == 1:
+            case = "special"
+        else:
+            case = "general"
+    if case not in ("special", "general", "depthwise"):
         raise ConfigurationError("unknown kernel case %r" % case)
 
     # The per-case search lives with the backend now: the registry's
-    # "special"/"general" entries wrap explore_special/explore_general
-    # behind the ConvBackend DSE hook, and this entry point delegates.
+    # "special"/"general"/"depthwise" entries wrap the explorers behind
+    # the ConvBackend DSE hook, and this entry point delegates.
     from repro.kernels import default_registry
 
     return default_registry().get(case).tune(problem, arch, full=full,

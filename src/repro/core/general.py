@@ -146,8 +146,12 @@ class GeneralCaseKernel:
         return best_cfg
 
     def _check_problem(self, problem: ConvProblem) -> ConvProblem:
+        if problem.groups != 1:
+            raise ConfigurationError(
+                "the general-case kernel handles ungrouped convolution, "
+                "got %s" % problem.describe())
         valid = problem.as_valid()
-        if valid.kernel_size > min(valid.height, valid.width):
+        if valid.span > min(valid.height, valid.width):
             raise ConfigurationError("filter larger than padded image")
         return valid
 
@@ -157,11 +161,12 @@ class GeneralCaseKernel:
         grid = BlockGrid(valid, cfg.block_spec())
         fgroups = math.ceil(valid.filters / cfg.ftb)
         k = valid.kernel_size
+        s, d = valid.stride, valid.dilation
         return LaunchConfig(
             grid=Dim3(x=fgroups, y=grid.total_blocks),
             block=Dim3(x=cfg.tx, y=cfg.ty),
-            registers_per_thread=cfg.registers_per_thread(k, self.n),
-            smem_per_block=cfg.smem_bytes(k, self.n, self.elem_bytes),
+            registers_per_thread=cfg.registers_per_thread(k, self.n, s, d),
+            smem_per_block=cfg.smem_bytes(k, self.n, self.elem_bytes, s, d),
         )
 
     # ------------------------------------------------------------------
@@ -172,41 +177,56 @@ class GeneralCaseKernel:
         image: np.ndarray,
         filters: np.ndarray,
         padding: Padding = Padding.VALID,
+        problem: Optional[ConvProblem] = None,
     ) -> np.ndarray:
-        """Execute Algorithm 2 and return the ``(F, OH, OW)`` output."""
-        img = np.asarray(image, dtype=np.float32)
-        if img.ndim == 2:
-            img = img[np.newaxis]
-        flt = np.asarray(filters, dtype=np.float32)
-        if flt.ndim == 3:
-            flt = flt[:, np.newaxis]
-        if img.ndim != 3 or flt.ndim != 4:
-            raise ShapeError("image must be (C,H,W) and filters (F,C,K,K)")
-        if flt.shape[1] != img.shape[0]:
-            raise ShapeError(
-                "filters have %d channels, image has %d" % (flt.shape[1], img.shape[0])
-            )
-        if flt.shape[2] != flt.shape[3]:
-            raise ShapeError("filters must be square")
+        """Execute Algorithm 2 and return the ``(F, OH, OW)`` output.
 
-        problem = ConvProblem(
-            height=img.shape[1],
-            width=img.shape[2],
-            channels=img.shape[0],
-            filters=flt.shape[0],
-            kernel_size=flt.shape[2],
-            padding=padding,
-        )
+        Without ``problem`` the shape is inferred from the arrays with
+        default axes; a full problem brings stride and dilation along
+        (grouping is out of scope for this kernel — see the depthwise
+        backend).
+        """
+        if problem is None:
+            img = np.asarray(image, dtype=np.float32)
+            if img.ndim == 2:
+                img = img[np.newaxis]
+            flt = np.asarray(filters, dtype=np.float32)
+            if flt.ndim == 3:
+                flt = flt[:, np.newaxis]
+            if img.ndim != 3 or flt.ndim != 4:
+                raise ShapeError("image must be (C,H,W) and filters (F,C,K,K)")
+            if flt.shape[1] != img.shape[0]:
+                raise ShapeError(
+                    "filters have %d channels, image has %d" % (flt.shape[1], img.shape[0])
+                )
+            if flt.shape[2] != flt.shape[3]:
+                raise ShapeError("filters must be square")
+
+            problem = ConvProblem(
+                height=img.shape[1],
+                width=img.shape[2],
+                channels=img.shape[0],
+                filters=flt.shape[0],
+                kernel_size=flt.shape[2],
+                padding=padding,
+            )
+        else:
+            # padded_image canonicalizes to CHW itself; handing it the
+            # raw array keeps NHWC inputs single-converted.
+            img = image
+            flt = problem.check_filters(filters)
         valid = self._check_problem(problem)
         cfg = self.config_for(valid)
         padded = problem.padded_image(img)
 
         k = valid.kernel_size
+        s, d = valid.stride, valid.dilation
         c_total = valid.channels
         f_total = valid.filters
         grid = BlockGrid(valid, cfg.block_spec())
         fgroups = math.ceil(f_total / cfg.ftb)
-        out = np.empty(problem.output_shape, dtype=np.float32)
+        out = np.empty((f_total, valid.out_height, valid.out_width),
+                       dtype=np.float32)
 
         # Per-thread-group pixel mapping: group ty covers WT contiguous
         # pixels of row (ty*WT)//W starting at column (ty*WT)%W.
@@ -220,14 +240,15 @@ class GeneralCaseKernel:
                 f_lo = fg * cfg.ftb
                 f_hi = min(f_lo + cfg.ftb, f_total)
                 block_out = self._run_block(
-                    tile, flt[f_lo:f_hi], cfg, k, rows_of_ty, cols_of_ty
+                    tile, flt[f_lo:f_hi], cfg, k, rows_of_ty, cols_of_ty,
+                    s, d,
                 )
                 out[
                     f_lo:f_hi,
                     view.out_y0 : view.out_y0 + view.out_rows,
                     view.out_x0 : view.out_x0 + view.out_cols,
                 ] = block_out[:, : view.out_rows, : view.out_cols]
-        return out
+        return problem.layout_output(out)
 
     def _run_block(
         self,
@@ -237,18 +258,24 @@ class GeneralCaseKernel:
         k: int,
         rows_of_ty: np.ndarray,
         cols_of_ty: np.ndarray,
+        stride: int = 1,
+        dilation: int = 1,
     ) -> np.ndarray:
         """One thread block: Algorithm 2's channel/row/round loop nest.
 
         ``rAcc`` holds every thread's F_T x W_T register tile, laid out
         as (filters-in-block, ty, wt); the per-round update is the outer
         product of ``rFlt`` (F_T filter taps) with the shifted slice of
-        ``rImg`` (the W_T + K - 1 pixel register row).
+        ``rImg`` (the W_T + K - 1 pixel register row — with stride and
+        dilation the row widens to ``(W_T-1)*stride + span`` and the
+        round slice walks it at the stride).
         """
         f_here = flt.shape[0]
         c_total = tile.shape[0]
+        s, d = stride, dilation
         racc = np.zeros((f_here, cfg.ty, cfg.wt), dtype=np.float32)
-        col_idx = cols_of_ty[:, np.newaxis] + np.arange(cfg.wt + k - 1)
+        row_floats = (cfg.wt - 1) * s + d * (k - 1) + 1
+        col_idx = cols_of_ty[:, np.newaxis] * s + np.arange(row_floats)
 
         # The CSH-channel staging (lines 4-5/17-18) only affects *where*
         # data waits, not the accumulation order: iterate channels in
@@ -256,16 +283,17 @@ class GeneralCaseKernel:
         for c_lo in range(0, c_total, cfg.csh):
             for c in range(c_lo, min(c_lo + cfg.csh, c_total)):
                 for j in range(k):
-                    # Line 12: each thread's register row of WT+K-1 pixels.
+                    # Line 12: each thread's register row of pixels.
                     rimg = np.take_along_axis(
-                        tile[c][rows_of_ty + j], col_idx, axis=1
+                        tile[c][rows_of_ty * s + j * d], col_idx, axis=1
                     )
                     for kk in range(k):
                         # Line 14: FT filter values; line 15: FMA round.
                         rflt = flt[:, c, j, kk]
                         racc += (
                             rflt[:, np.newaxis, np.newaxis]
-                            * rimg[np.newaxis, :, kk : kk + cfg.wt]
+                            * rimg[np.newaxis, :,
+                                   kk * d : kk * d + (cfg.wt - 1) * s + 1 : s]
                         )
         return racc.reshape(f_here, cfg.h, cfg.w)
 
@@ -277,13 +305,14 @@ class GeneralCaseKernel:
         cfg = self.config_for(valid)
         k = valid.kernel_size
         n = self.n
+        s, d = valid.stride, valid.dilation
         grid = BlockGrid(valid, cfg.block_spec())
         fgroups = math.ceil(valid.filters / cfg.ftb)
         launch = LaunchConfig(
             grid=Dim3(x=fgroups, y=grid.total_blocks),
             block=Dim3(x=cfg.tx, y=cfg.ty),
-            registers_per_thread=cfg.registers_per_thread(k, n),
-            smem_per_block=cfg.smem_bytes(k, n, self.elem_bytes),
+            registers_per_thread=cfg.registers_per_thread(k, n, s, d),
+            smem_per_block=cfg.smem_bytes(k, n, self.elem_bytes, s, d),
         )
         blocks = float(grid.total_blocks * fgroups)
         threads = cfg.threads
@@ -297,8 +326,9 @@ class GeneralCaseKernel:
         elem = self.elem_bytes
         unit = n * elem
 
-        img_row_floats = cfg.w + k - 1
-        img_rows = cfg.h + k - 1
+        halo = d * (k - 1)
+        img_row_floats = (cfg.w - 1) * s + halo + 1
+        img_rows = (cfg.h - 1) * s + halo + 1
 
         # --- global loads: image rows of the staged chunk ------------------
         # Each footprint row is one contiguous run; runs are strided by the
@@ -386,7 +416,7 @@ class GeneralCaseKernel:
         row_bytes = tracer.smem_batch_mod()
         tracer.smem_read_prepared(
             _img_row_read_batch(warp_lanes, cfg.tx, cfg.ty, cfg.wt, cfg.w,
-                                k, elem, n, row_bytes),
+                                k, elem, n, row_bytes, s, d),
             unit,
             scale=float(warps) * k * c_total * blocks,
             site="sm.load_image_row",
@@ -433,14 +463,17 @@ class GeneralCaseKernel:
 
 
 @functools.lru_cache(maxsize=4096)
-def _img_row_read_batch(warp_lanes, tx, ty, wt, w, k, elem, n, row_bytes):
+def _img_row_read_batch(warp_lanes, tx, ty, wt, w, k, elem, n, row_bytes,
+                        stride=1, dilation=1):
     """Prepared batch of one warp's image register-row reads (line 12)."""
     lanes = np.arange(warp_lanes, dtype=np.int64)
     ty_ids = (lanes // tx) % ty
+    pitch = (w - 1) * stride + dilation * (k - 1) + 1
     base = (
-        ((ty_ids * wt) // w) * (w + k - 1) + (ty_ids * wt) % w
+        ((ty_ids * wt) // w) * stride * pitch
+        + ((ty_ids * wt) % w) * stride
     ) * elem
-    u_img = math.ceil((wt + k - 1) / n)
+    u_img = math.ceil(((wt - 1) * stride + dilation * (k - 1) + 1) / n)
     unit = n * elem
     matrix = (
         base[np.newaxis, :]

@@ -97,11 +97,14 @@ class SpecialCaseKernel:
         valid = self._check_problem(problem)
         grid = BlockGrid(valid, self.config.block_spec())
         k = valid.kernel_size
+        s, d = valid.stride, valid.dilation
         return LaunchConfig(
             grid=Dim3(x=grid.blocks_x, y=grid.blocks_y),
             block=Dim3(x=self.config.threads(self.n)),
-            registers_per_thread=self.config.registers_per_thread(k, self.n),
-            smem_per_block=self.config.smem_bytes(k, self.n, self.elem_bytes),
+            registers_per_thread=self.config.registers_per_thread(
+                k, self.n, s, d),
+            smem_per_block=self.config.smem_bytes(
+                k, self.n, self.elem_bytes, s, d),
         )
 
     # ------------------------------------------------------------------
@@ -112,50 +115,65 @@ class SpecialCaseKernel:
         image: np.ndarray,
         filters: np.ndarray,
         padding: Padding = Padding.VALID,
+        problem: Optional[ConvProblem] = None,
     ) -> np.ndarray:
-        """Execute Algorithm 1 and return the ``(F, OH, OW)`` output."""
-        img = np.asarray(image, dtype=np.float32)
-        if img.ndim == 3:
-            if img.shape[0] != 1:
-                raise ShapeError("special-case kernel takes a single-channel image")
-            img = img[0]
-        if img.ndim != 2:
-            raise ShapeError("image must be 2-D (H, W)")
-        flt = np.asarray(filters, dtype=np.float32)
-        if flt.ndim == 2:
-            flt = flt[np.newaxis]
-        if flt.ndim == 4:
-            if flt.shape[1] != 1:
-                raise ShapeError("filters must have one channel")
-            flt = flt[:, 0]
-        if flt.ndim != 3 or flt.shape[1] != flt.shape[2]:
-            raise ShapeError("filters must be (F, K, K) with square taps")
+        """Execute Algorithm 1 and return the ``(F, OH, OW)`` output.
 
-        problem = ConvProblem(
-            height=img.shape[0],
-            width=img.shape[1],
-            channels=1,
-            filters=flt.shape[0],
-            kernel_size=flt.shape[1],
-            padding=padding,
-        )
+        Without ``problem`` the shape is inferred from the arrays with
+        default axes; a full problem brings stride/dilation and NHWC
+        layout along (always C = 1).
+        """
+        if problem is None:
+            img = np.asarray(image, dtype=np.float32)
+            if img.ndim == 3:
+                if img.shape[0] != 1:
+                    raise ShapeError("special-case kernel takes a single-channel image")
+                img = img[0]
+            if img.ndim != 2:
+                raise ShapeError("image must be 2-D (H, W)")
+            flt = np.asarray(filters, dtype=np.float32)
+            if flt.ndim == 2:
+                flt = flt[np.newaxis]
+            if flt.ndim == 4:
+                if flt.shape[1] != 1:
+                    raise ShapeError("filters must have one channel")
+                flt = flt[:, 0]
+            if flt.ndim != 3 or flt.shape[1] != flt.shape[2]:
+                raise ShapeError("filters must be (F, K, K) with square taps")
+
+            problem = ConvProblem(
+                height=img.shape[0],
+                width=img.shape[1],
+                channels=1,
+                filters=flt.shape[0],
+                kernel_size=flt.shape[1],
+                padding=padding,
+            )
+        else:
+            img = problem.chw_image(image)[0]
+            flt = problem.check_filters(filters)[:, 0]
         valid = self._check_problem(problem)
         padded = problem.padded_image(img)[0]
 
         k = valid.kernel_size
+        s, d = valid.stride, valid.dilation
         cfg = self.config
         grid = BlockGrid(valid, cfg.block_spec())
-        out = np.empty(problem.output_shape, dtype=np.float32)
+        out = np.empty((valid.filters, valid.out_height, valid.out_width),
+                       dtype=np.float32)
 
         for view in grid:
-            tile = view.extract(padded)          # (H + K - 1, W + K - 1)
-            block_out = self._run_block(tile, flt, k)
+            tile = view.extract(padded)          # block footprint incl. halo
+            if s == 1 and d == 1:
+                block_out = self._run_block(tile, flt, k)
+            else:
+                block_out = self._run_block_general(tile, flt, k, s, d)
             out[
                 :,
                 view.out_y0 : view.out_y0 + view.out_rows,
                 view.out_x0 : view.out_x0 + view.out_cols,
             ] = block_out[:, : view.out_rows, : view.out_cols]
-        return out
+        return problem.layout_output(out)
 
     def _run_block(self, tile: np.ndarray, flt: np.ndarray, k: int) -> np.ndarray:
         """One thread block's sweep, with the circular SM row window.
@@ -199,6 +217,32 @@ class SpecialCaseKernel:
             reg_rows = window[1:]
         return block_out
 
+    def _run_block_general(self, tile: np.ndarray, flt: np.ndarray, k: int,
+                           stride: int, dilation: int) -> np.ndarray:
+        """One block's sweep with strided output rows and dilated taps.
+
+        The circular-window bookkeeping of :meth:`_run_block` assumes one
+        fresh input row per output row; with stride the window advances
+        ``stride`` rows per step and with dilation the tapped rows are
+        ``dilation`` apart, so this path indexes the staged tile
+        directly — the traffic model accounts for the changed reuse.
+        """
+        cfg = self.config
+        h, w = cfg.block_h, cfg.block_w
+        f_count = flt.shape[0]
+        block_out = np.zeros((f_count, h, w), dtype=np.float32)
+        for out_r in range(h):
+            for f in range(f_count):
+                acc = np.zeros(w, dtype=np.float32)
+                for dy in range(k):
+                    row = tile[out_r * stride + dy * dilation]
+                    for dx in range(k):
+                        lo = dx * dilation
+                        acc += (row[lo : lo + (w - 1) * stride + 1 : stride]
+                                * flt[f, dy, dx])
+                block_out[f, out_r] = acc
+        return block_out
+
     # ------------------------------------------------------------------
     # Traced cost
     # ------------------------------------------------------------------
@@ -219,41 +263,84 @@ class SpecialCaseKernel:
         lanes = np.arange(self.arch.warp_size, dtype=np.int64)
         elem = self.elem_bytes
         unit = n * elem
+        s, d = valid.stride, valid.dilation
+        span = valid.span
 
-        rows_per_block = h + k - 1            # K initial + (H - 1) prefetched
-        # --- global loads of image rows (coalesced vector units) ----------
+        # K initial + (H - 1) prefetched rows at stride 1; strided blocks
+        # advance s input rows per output row under the same span window.
+        rows_per_block = (h - 1) * s + span
+        footprint = (cfg.block_w - 1) * s + span   # input floats per row
         row_pattern = lanes * unit
-        tracer.gmem_read(
-            row_pattern, unit, count=float(warps * rows_per_block * blocks),
-            site="gm.load_row",
-        )
-        halo_units = math.ceil((k - 1) / n)
-        if halo_units:
-            halo_pattern = cfg.block_w * elem + np.arange(halo_units) * unit
+        if s == 1:
+            # --- global loads of image rows (coalesced vector units) ------
             tracer.gmem_read(
-                halo_pattern, unit, count=float(rows_per_block * blocks),
-                site="gm.load_row_halo",
+                row_pattern, unit, count=float(warps * rows_per_block * blocks),
+                site="gm.load_row",
             )
+            halo_units = math.ceil((span - 1) / n)
+            if halo_units:
+                halo_pattern = cfg.block_w * elem + np.arange(halo_units) * unit
+                tracer.gmem_read(
+                    halo_pattern, unit, count=float(rows_per_block * blocks),
+                    site="gm.load_row_halo",
+                )
+        else:
+            # Strided blocks still stage their full contiguous footprint
+            # row (every s-th pixel plus dilated halo is in range), so the
+            # cooperative load stays vectorized; the warp count changes.
+            total_units = math.ceil(footprint / n)
+            full_rounds = total_units // self.arch.warp_size
+            tail_units = total_units % self.arch.warp_size
+            if full_rounds:
+                tracer.gmem_read(
+                    row_pattern, unit,
+                    count=float(full_rounds * rows_per_block * blocks),
+                    site="gm.load_row",
+                )
+            if tail_units:
+                tracer.gmem_read(
+                    lanes[:tail_units] * unit, unit,
+                    count=float(rows_per_block * blocks),
+                    site="gm.load_row_halo",
+                )
 
         # --- shared-memory staging of those rows -------------------------
-        tracer.smem_write(
-            row_pattern, unit, count=float(warps * rows_per_block * blocks),
-            site="sm.store_row",
-        )
-        if halo_units:
-            halo_sm = cfg.block_w * elem + np.arange(halo_units) * unit
+        if s == 1:
             tracer.smem_write(
-                halo_sm, unit, count=float(rows_per_block * blocks),
-                site="sm.store_row_halo",
+                row_pattern, unit, count=float(warps * rows_per_block * blocks),
+                site="sm.store_row",
             )
+            if halo_units:
+                halo_sm = cfg.block_w * elem + np.arange(halo_units) * unit
+                tracer.smem_write(
+                    halo_sm, unit, count=float(rows_per_block * blocks),
+                    site="sm.store_row_halo",
+                )
+        else:
+            if full_rounds:
+                tracer.smem_write(
+                    row_pattern, unit,
+                    count=float(full_rounds * rows_per_block * blocks),
+                    site="sm.store_row",
+                )
+            if tail_units:
+                tracer.smem_write(
+                    lanes[:tail_units] * unit, unit,
+                    count=float(rows_per_block * blocks),
+                    site="sm.store_row_halo",
+                )
 
         # --- per-iteration register loads from shared memory --------------
-        # Each thread reads its K + n - 1 pixel row slice as vector units
-        # (line 6); the initial K - 1 rows are read the same way (line 3).
-        window_units = 1 + math.ceil((k - 1) / n)
-        row_reads = h + (k - 1)
+        # Each thread reads its (n-1)*s + span pixel row slice as vector
+        # units (line 6); the initial priming rows are read the same way
+        # (line 3).  Tap rows d apart with the window advancing s rows per
+        # output row reuse k - s/d register rows (all k when s = 1, d = 1).
+        slice_floats = (n - 1) * s + span
+        window_units = math.ceil(slice_floats / n)
+        fresh_taps = s // d if (s % d == 0 and s // d < k) else k
+        row_reads = (k - fresh_taps) + h * fresh_taps
         for u in range(window_units):
-            pattern = (lanes + u) * unit
+            pattern = lanes * (n * s * elem) + u * unit
             tracer.smem_read(
                 pattern, unit, count=float(warps * row_reads * blocks),
                 site="sm.load_window",

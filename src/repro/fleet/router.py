@@ -39,10 +39,20 @@ def shape_hash(problem: ConvProblem, salt: str = "") -> int:
     Deterministic across processes and Python versions (unlike
     ``hash()`` on anything containing a string), so a trace routes
     identically in the fleet parent, in pool workers, and in CI.
+
+    Generalized axes (stride, dilation, groups, layout) extend the
+    hashed blob only when non-default, so every default-axis shape
+    keeps the exact replica assignment it had before the axes existed.
     """
-    blob = "%d|%d|%d|%d|%d|%s|%s" % (
+    axes = ""
+    if not problem.has_default_axes:
+        axes = "|s%d|d%d|g%d|%s" % (
+            problem.stride, problem.dilation, problem.groups,
+            problem.layout.value,
+        )
+    blob = "%d|%d|%d|%d|%d|%s%s|%s" % (
         problem.height, problem.width, problem.channels, problem.filters,
-        problem.kernel_size, problem.padding.value, salt,
+        problem.kernel_size, problem.padding.value, axes, salt,
     )
     digest = hashlib.blake2b(blob.encode("ascii"), digest_size=8).digest()
     return int.from_bytes(digest, "big")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.kernels.backends import (
+    DepthwiseBackend,
     FFTBackend,
     GeneralBackend,
     Im2colBackend,
@@ -32,6 +33,7 @@ __all__ = [
     "reset_default_registry",
     "SpecialBackend",
     "GeneralBackend",
+    "DepthwiseBackend",
     "Im2colBackend",
     "ImplicitGemmBackend",
     "NaiveBackend",
@@ -44,9 +46,9 @@ _default: Optional[BackendRegistry] = None
 
 
 def default_registry() -> BackendRegistry:
-    """The process-wide registry, pre-loaded with the seven built-in
+    """The process-wide registry, pre-loaded with the eight built-in
     backends (``special``, ``general``, ``im2col``, ``implicit-gemm``,
-    ``naive``, ``fft``, ``winograd``)."""
+    ``naive``, ``fft``, ``winograd``, ``depthwise``)."""
     global _default
     if _default is None:
         _default = register_builtin_backends(BackendRegistry())

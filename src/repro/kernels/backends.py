@@ -28,6 +28,7 @@ from repro.baselines.im2col import Im2colKernel
 from repro.baselines.implicit_gemm import ImplicitGemmKernel
 from repro.baselines.winograd import WinogradConvolution
 from repro.conv.tensors import ConvProblem, FLOAT_BYTES
+from repro.core.depthwise import DepthwiseKernel
 from repro.core.general import GeneralCaseKernel
 from repro.core.special import SpecialCaseKernel
 from repro.errors import ConfigurationError
@@ -38,6 +39,7 @@ from repro.kernels.registry import BackendRegistry
 __all__ = [
     "SpecialBackend",
     "GeneralBackend",
+    "DepthwiseBackend",
     "Im2colBackend",
     "ImplicitGemmBackend",
     "NaiveBackend",
@@ -97,6 +99,12 @@ class SpecialBackend(_TunedBackend):
 
     name = "special"
     case = "special"
+    AXES = {
+        "stride": True,
+        "dilation": True,
+        "groups": "single",
+        "layouts": ("nchw", "nhwc"),
+    }
 
     def capability(self, problem: ConvProblem,
                    arch: GPUArchitecture) -> bool:
@@ -123,6 +131,12 @@ class GeneralBackend(_TunedBackend):
 
     name = "general"
     case = "general"
+    AXES = {
+        "stride": True,
+        "dilation": True,
+        "groups": "single",
+        "layouts": ("nchw",),
+    }
 
     def _explore(self, problem, arch, full, jobs):
         from repro.core.bankwidth import matched_vector
@@ -141,10 +155,50 @@ class GeneralBackend(_TunedBackend):
         return GeneralCaseKernel(arch=arch, **kwargs)
 
 
+class DepthwiseBackend(_TunedBackend):
+    """Depthwise convolution (``groups == channels``): one special-case
+    sweep per channel, batched over grid Z (see
+    :class:`~repro.core.depthwise.DepthwiseKernel`)."""
+
+    name = "depthwise"
+    case = "depthwise"
+    AXES = {
+        "stride": True,
+        "dilation": True,
+        "groups": "depthwise",
+        "layouts": ("nchw", "nhwc"),
+    }
+
+    def capability(self, problem: ConvProblem,
+                   arch: GPUArchitecture) -> bool:
+        if problem.groups != problem.channels or problem.channels <= 1:
+            return False
+        valid = problem.as_valid()
+        cm_bytes = valid.filters * valid.kernel_size ** 2 * FLOAT_BYTES
+        return cm_bytes <= arch.const_memory_size
+
+    def _explore(self, problem, arch, full, jobs):
+        from repro.core.dse import explore_special
+
+        return explore_special(
+            arch, problem=DepthwiseKernel.group_problem(problem), jobs=jobs)
+
+    def build(self, problem, arch=KEPLER_K40M, config=None, **kwargs):
+        if config is not None:
+            kwargs["config"] = config
+        return DepthwiseKernel(arch=arch, **kwargs)
+
+
 class Im2colBackend(ConvBackend):
     """Caffe-style explicit lowering + blocked GEMM."""
 
     name = "im2col"
+    AXES = {
+        "stride": True,
+        "dilation": True,
+        "groups": "any",
+        "layouts": ("nchw", "nhwc"),
+    }
 
     def build(self, problem, arch=KEPLER_K40M, config=None, **kwargs):
         return Im2colKernel(arch=arch, **kwargs)
@@ -154,6 +208,12 @@ class ImplicitGemmBackend(ConvBackend):
     """cuDNN-like implicit GEMM: the paper's comparison kernel."""
 
     name = "implicit-gemm"
+    AXES = {
+        "stride": True,
+        "dilation": True,
+        "groups": "single",
+        "layouts": ("nchw",),
+    }
 
     def build(self, problem, arch=KEPLER_K40M, config=None, **kwargs):
         return ImplicitGemmKernel(arch=arch, **kwargs)
@@ -164,6 +224,12 @@ class NaiveBackend(ConvBackend):
     target; it supports every valid problem on every architecture."""
 
     name = "naive"
+    AXES = {
+        "stride": True,
+        "dilation": True,
+        "groups": "any",
+        "layouts": ("nchw", "nhwc"),
+    }
 
     def build(self, problem, arch=KEPLER_K40M, config=None, **kwargs):
         return NaiveDirectKernel(arch=arch, **kwargs)
@@ -194,11 +260,12 @@ class WinogradBackend(ConvBackend):
 
 
 def register_builtin_backends(registry: BackendRegistry) -> BackendRegistry:
-    """Register the seven built-in backends, dispatch-priority first.
+    """Register the eight built-in backends, dispatch-priority first.
 
     The first five names reproduce the serving layer's historical
-    routing order (ties in predicted time break toward the first); FFT
-    and Winograd join the portfolio after the always-on fallback.
+    routing order (ties in predicted time break toward the first); FFT,
+    Winograd and the depthwise specialization join the portfolio after
+    the always-on fallback.
     """
     for backend in (
         SpecialBackend(),
@@ -208,6 +275,7 @@ def register_builtin_backends(registry: BackendRegistry) -> BackendRegistry:
         NaiveBackend(),
         FFTBackend(),
         WinogradBackend(),
+        DepthwiseBackend(),
     ):
         registry.register(backend)
     return registry

@@ -26,6 +26,13 @@ be exactly as strong as ``build`` — a backend admitted for a problem
 must construct without raising (the registry parity suite enforces
 this) — and should reject problems whose launch would violate the
 architecture's shared-memory / register / thread budgets.
+
+Since the problem model grew stride / dilation / groups / layout axes,
+every backend also declares which of those generalized axes it serves
+via the :attr:`ConvBackend.AXES` class attribute; ``supports`` chains
+the :meth:`axes_ok` gate in front of capability and feasibility so a
+backend written for the classic default axes never sees a strided,
+dilated, grouped or NHWC problem.
 """
 
 from __future__ import annotations
@@ -54,6 +61,20 @@ class ConvBackend(ABC):
     #: Registry key and dispatch label (``"special"``, ``"im2col"``, ...).
     name: str = ""
 
+    #: Generalized-axis support: which problem axes beyond the classic
+    #: defaults (stride=1, dilation=1, groups=1, NCHW) this backend
+    #: serves.  ``stride`` / ``dilation`` are booleans; ``groups`` is
+    #: ``"single"`` (ungrouped only), ``"depthwise"`` (groups ==
+    #: channels) or ``"any"``; ``layouts`` lists accepted
+    #: :class:`~repro.conv.tensors.Layout` values.  The conservative
+    #: default declares exactly the pre-generalization contract.
+    AXES = {
+        "stride": False,
+        "dilation": False,
+        "groups": "single",
+        "layouts": ("nchw",),
+    }
+
     # ------------------------------------------------------------------
     # Capability + feasibility
     # ------------------------------------------------------------------
@@ -62,16 +83,34 @@ class ConvBackend(ABC):
         """Whether this backend can serve ``problem`` on ``arch``.
 
         ``supports() is True`` guarantees :meth:`build` succeeds for the
-        same ``(problem, arch)`` pair.  The default chains the cheap
-        structural test (:meth:`capability`) with the resource test
-        (:meth:`feasible`).
+        same ``(problem, arch)`` pair.  The default chains the axis gate
+        (:meth:`axes_ok`) with the cheap structural test
+        (:meth:`capability`) and the resource test (:meth:`feasible`).
         """
         try:
             problem.as_valid()
         except ReproError:
             return False
-        return (self.capability(problem, arch)
+        return (self.axes_ok(problem)
+                and self.capability(problem, arch)
                 and self.feasible(problem, arch))
+
+    def axes_ok(self, problem: ConvProblem) -> bool:
+        """Whether ``problem``'s generalized axes fall inside
+        :attr:`AXES`.  Default-axis problems always pass."""
+        axes = self.AXES
+        if problem.stride != 1 and not axes.get("stride", False):
+            return False
+        if problem.dilation != 1 and not axes.get("dilation", False):
+            return False
+        if problem.groups != 1:
+            grouping = axes.get("groups", "single")
+            if grouping == "single":
+                return False
+            if (grouping == "depthwise"
+                    and problem.groups != problem.channels):
+                return False
+        return problem.layout.value in axes.get("layouts", ("nchw",))
 
     def capability(self, problem: ConvProblem,
                    arch: GPUArchitecture) -> bool:
@@ -159,9 +198,18 @@ class ConvBackend(ABC):
     def run(self, image: np.ndarray, filters: np.ndarray,
             padding: Padding = Padding.VALID,
             arch: GPUArchitecture = KEPLER_K40M,
-            config: Optional[object] = None) -> np.ndarray:
-        """Build and functionally execute in one call."""
-        return self.build(None, arch, config).run(image, filters, padding)
+            config: Optional[object] = None,
+            problem: Optional[ConvProblem] = None) -> np.ndarray:
+        """Build and functionally execute in one call.
+
+        Pass ``problem`` for non-default axes (stride, dilation, groups,
+        NHWC) — without it the kernel infers a default-axis problem from
+        the array shapes, as before.
+        """
+        if problem is not None:
+            padding = problem.padding
+        return self.build(problem, arch, config).run(
+            image, filters, padding, problem=problem)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

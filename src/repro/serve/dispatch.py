@@ -81,17 +81,18 @@ def _serve_request(
     Returns (output, fell_back).  The kernel path degrades to the naive
     backend when the planned kernel's functional execution raises.
     """
+    problem = request.problem
     if executor == "reference":
         return conv2d_reference(
-            request.image, request.filters, request.problem.padding
+            request.image, request.filters, problem.padding, problem=problem
         ), False
     try:
         return kernel.run(
-            request.image, request.filters, request.problem.padding
+            request.image, request.filters, problem.padding, problem=problem
         ), False
     except Exception:
         return naive.run(
-            request.image, request.filters, request.problem.padding
+            request.image, request.filters, problem.padding, problem=problem
         ), True
 
 

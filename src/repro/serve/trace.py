@@ -14,12 +14,14 @@ from __future__ import annotations
 import json
 from typing import List, Optional, Sequence
 
-from repro.conv.tensors import ConvProblem, Padding
+from repro.conv.tensors import ConvProblem, Layout, Padding
 from repro.errors import ReproError
 from repro.serve.request import PRIORITY_CLASSES, ConvRequest
 
 __all__ = [
     "DEFAULT_SERVING_SHAPES",
+    "GENERALIZED_SERVING_SHAPES",
+    "SHAPE_FAMILIES",
     "synthetic_trace",
     "save_trace",
     "load_trace",
@@ -36,6 +38,26 @@ DEFAULT_SERVING_SHAPES = (
     ConvProblem.square(24, 3, channels=16, filters=16),
 )
 
+#: Generalized-axis serving workload: strided downsampling backbones,
+#: dilated context aggregation, and depthwise separable stages — the
+#: mobile-CNN layer mix the generalized problem model exists for.
+GENERALIZED_SERVING_SHAPES = (
+    ConvProblem.square(64, 3, channels=8, filters=16, stride=2),
+    ConvProblem.square(33, 3, channels=4, filters=8, dilation=2),
+    ConvProblem.square(32, 3, channels=8, filters=8, groups=8),
+    ConvProblem.square(48, 3, channels=16, filters=16, groups=16, stride=2),
+    ConvProblem.square(64, 3, channels=1, filters=4, stride=2),
+)
+
+#: Named shape palettes ``synthetic_trace(shape_family=...)`` selects
+#: from.  ``"classic"`` is the pre-generalization palette (and the
+#: byte-identical default); ``"mixed"`` interleaves both.
+SHAPE_FAMILIES = {
+    "classic": DEFAULT_SERVING_SHAPES,
+    "generalized": GENERALIZED_SERVING_SHAPES,
+    "mixed": DEFAULT_SERVING_SHAPES + GENERALIZED_SERVING_SHAPES,
+}
+
 
 def synthetic_trace(
     n_requests: int,
@@ -44,6 +66,7 @@ def synthetic_trace(
     rate_hz: Optional[float] = 50_000.0,
     priority_mix: Optional[dict] = None,
     deadline_budget_s: Optional[float] = None,
+    shape_family: Optional[str] = None,
 ) -> List[ConvRequest]:
     """Generate a reproducible mixed-shape request trace.
 
@@ -58,11 +81,23 @@ def synthetic_trace(
     budget``.  Both default to off, which leaves the request stream —
     including the shape/arrival RNG draws — byte-identical to traces
     generated before these knobs existed.
+
+    ``shape_family`` selects a named palette from
+    :data:`SHAPE_FAMILIES` instead of ``shapes``: ``"generalized"``
+    draws strided / dilated / depthwise layers, ``"mixed"`` interleaves
+    them with the classic palette.  ``None`` (the default) keeps the
+    ``shapes`` argument — and every pre-existing trace — untouched.
     """
     import numpy as np
 
     if n_requests < 1:
         raise ReproError("a trace needs at least one request")
+    if shape_family is not None:
+        if shape_family not in SHAPE_FAMILIES:
+            raise ReproError(
+                "unknown shape family %r; shape families: %s"
+                % (shape_family, ", ".join(sorted(SHAPE_FAMILIES))))
+        shapes = SHAPE_FAMILIES[shape_family]
     if not shapes:
         raise ReproError("a trace needs at least one shape")
     if deadline_budget_s is not None and deadline_budget_s < 0:
@@ -127,8 +162,17 @@ def save_trace(path: str, requests: Sequence[ConvRequest]) -> None:
             "arrival_s": request.arrival_s,
             "seed": request.seed,
         }
-        # QoS annotations persist only when set, so pre-fleet trace
-        # files and their byte layout are unchanged.
+        # Generalized axes and QoS annotations persist only when
+        # non-default, so pre-existing trace files and their byte
+        # layout are unchanged.
+        if p.stride != 1:
+            record["stride"] = p.stride
+        if p.dilation != 1:
+            record["dilation"] = p.dilation
+        if p.groups != 1:
+            record["groups"] = p.groups
+        if p.layout is not Layout.NCHW:
+            record["layout"] = p.layout.value
         if request.priority != "standard":
             record["priority"] = request.priority
         if request.deadline_s is not None:
@@ -152,6 +196,10 @@ def load_trace(path: str) -> List[ConvRequest]:
                 filters=rec["filters"],
                 kernel_size=rec["kernel_size"],
                 padding=Padding(rec.get("padding", "valid")),
+                stride=rec.get("stride", 1),
+                dilation=rec.get("dilation", 1),
+                groups=rec.get("groups", 1),
+                layout=Layout(rec.get("layout", "nchw")),
             )
             image, filters = problem.random_instance(seed=rec["seed"])
             requests.append(ConvRequest(

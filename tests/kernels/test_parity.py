@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.conv.reference import conv2d_reference
-from repro.conv.tensors import ConvProblem, Padding
+from repro.conv.tensors import ConvProblem, Layout, Padding
 from repro.gpu.arch import KEPLER_K40M, PASCAL_P100
 from repro.kernels import default_registry
 
@@ -26,21 +26,49 @@ SWEEP = [
     ConvProblem(height=20, width=28, channels=2, filters=4, kernel_size=3),
 ]
 
+#: Generalized-axis shapes: every non-default axis (stride, dilation,
+#: groups — depthwise and plain grouped — and NHWC), alone and combined,
+#: across the C == 1 / C > 1 regimes and both padding modes.
+EXTENDED_SWEEP = [
+    ConvProblem.square(32, 3, channels=1, filters=4, stride=2),
+    ConvProblem.square(32, 3, channels=8, filters=8, stride=2,
+                       padding=Padding.SAME),
+    ConvProblem.square(33, 3, channels=4, filters=4, dilation=2),
+    ConvProblem.square(34, 3, channels=1, filters=2, stride=3, dilation=2),
+    ConvProblem.square(32, 3, channels=8, filters=16, groups=8),
+    ConvProblem.square(33, 3, channels=4, filters=4, groups=4, stride=2),
+    ConvProblem.square(24, 3, channels=8, filters=8, groups=2),
+    ConvProblem.square(32, 3, channels=4, filters=8, layout=Layout.NHWC),
+    ConvProblem.square(24, 3, channels=6, filters=6, groups=6,
+                       layout=Layout.NHWC),
+    ConvProblem.square(48, 3, channels=1, filters=4, layout=Layout.NHWC),
+]
+
 #: Transform-domain methods accumulate float32 rounding; direct-family
 #: methods match tightly.
 LOOSE = {"fft": (1e-3, 1e-3), "winograd": (1e-3, 1e-3)}
 TIGHT = (1e-4, 1e-5)
 
 
+def _ids(problems):
+    return ["%dx%d_c%d_f%d_k%d_%s_s%d_d%d_g%d_%s"
+            % (p.height, p.width, p.channels, p.filters, p.kernel_size,
+               p.padding.value, p.stride, p.dilation, p.groups,
+               p.layout.value)
+            for p in problems]
+
+
 def _sweep_ids():
-    return ["%dx%d_c%d_f%d_k%d_%s" % (p.height, p.width, p.channels,
-                                      p.filters, p.kernel_size,
-                                      p.padding.value)
-            for p in SWEEP]
+    return _ids(SWEEP)
 
 
 @pytest.fixture(params=SWEEP, ids=_sweep_ids())
 def problem(request):
+    return request.param
+
+
+@pytest.fixture(params=EXTENDED_SWEEP, ids=_ids(EXTENDED_SWEEP))
+def extended_problem(request):
     return request.param
 
 
@@ -65,12 +93,47 @@ class TestParity:
         assert "naive" in names
 
 
+class TestExtendedAxisParity:
+    """The same registry-driven contract over the generalized axes:
+    every backend admitted for a strided / dilated / grouped / NHWC
+    problem must match the generalized reference."""
+
+    def test_admitted_backends_match_reference(self, extended_problem):
+        problem = extended_problem
+        registry = default_registry()
+        image, filters = problem.random_instance(seed=11)
+        reference = conv2d_reference(image, filters, problem=problem)
+        admitted = registry.available(problem, KEPLER_K40M,
+                                      ensure_fallback=False)
+        assert admitted, "no backend admitted %s" % problem.describe()
+        for backend in admitted:
+            out = backend.run(image, filters, problem=problem)
+            rtol, atol = LOOSE.get(backend.name, TIGHT)
+            np.testing.assert_allclose(
+                out, reference, rtol=rtol, atol=atol,
+                err_msg="backend %r diverges on %s"
+                        % (backend.name, problem.describe()))
+
+    def test_depthwise_admitted_for_depthwise_shapes(self, extended_problem):
+        problem = extended_problem
+        names = [b.name for b in default_registry().available(
+            problem, KEPLER_K40M, ensure_fallback=False)]
+        is_depthwise = (problem.groups == problem.channels
+                        and problem.channels > 1)
+        assert ("depthwise" in names) == is_depthwise
+
+    def test_transform_backends_never_admitted(self, extended_problem):
+        names = [b.name for b in default_registry().available(
+            extended_problem, KEPLER_K40M, ensure_fallback=False)]
+        assert "fft" not in names and "winograd" not in names
+
+
 class TestSupportsBuildContract:
     @pytest.mark.parametrize("arch", [KEPLER_K40M, PASCAL_P100],
                              ids=["kepler", "pascal"])
     def test_supports_implies_build_and_cost(self, arch):
         registry = default_registry()
-        for problem in SWEEP:
+        for problem in SWEEP + EXTENDED_SWEEP:
             for backend in registry:
                 if not backend.supports(problem, arch):
                     continue

@@ -14,7 +14,7 @@ from repro.kernels import (
 )
 
 BUILTIN_NAMES = ("special", "general", "im2col", "implicit-gemm", "naive",
-                 "fft", "winograd")
+                 "fft", "winograd", "depthwise")
 
 
 @pytest.fixture

@@ -32,11 +32,11 @@ class FlakyMarkerKernel:
 
     name = "flaky"
 
-    def run(self, image, filters, padding=0):
+    def run(self, image, filters, padding=0, problem=None):
         # Threshold, not equality: float32 storage rounds the marker.
         if image.flat[0] < POISON / 2:
             raise RuntimeError("kernel exploded on marked request")
-        return conv2d_reference(image, filters, padding)
+        return conv2d_reference(image, filters, padding, problem=problem)
 
 
 class TestPlanning:

@@ -513,6 +513,49 @@ class TestAudit:
         assert "AUDIT FAIL" in captured.err
         assert "MISMATCH" in captured.out
 
+    def test_audit_depthwise_case(self, capsys):
+        assert main(["audit", "--case", "depthwise", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "depthwise" in out
+        assert "0 mismatch(es)" in out
+
+    def test_audit_all_covers_three_cases(self, capsys):
+        import json as _json
+
+        assert main(["audit", "--case", "all", "--trials", "1",
+                     "--json"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["failures"] == 0
+        assert {t["case"] for t in doc["trials"]} == {
+            "special", "general", "depthwise"}
+
+
+class TestBackendsMatrix:
+    """The `repro backends --matrix` capability table."""
+
+    def test_matrix_lists_every_backend_and_axis_column(self, capsys):
+        assert main(["backends", "--matrix"]) == 0
+        out = capsys.readouterr().out
+        for name in ("special", "general", "depthwise", "im2col",
+                     "implicit-gemm", "naive", "fft", "winograd"):
+            assert name in out
+        for column in ("stride", "dilation", "groups", "layouts"):
+            assert column in out
+
+    def test_matrix_json_matches_declared_axes(self, capsys):
+        import json as _json
+
+        from repro.kernels import default_registry
+
+        assert main(["backends", "--matrix", "--json"]) == 0
+        records = _json.loads(capsys.readouterr().out)
+        by_name = {r["name"]: r for r in records}
+        for backend in default_registry():
+            rec = by_name[backend.name]
+            assert rec["stride"] == backend.AXES["stride"]
+            assert rec["groups"] == backend.AXES["groups"]
+            assert tuple(rec["layouts"]) == tuple(backend.AXES["layouts"])
+
     def test_perf_record_audit_flag(self, tmp_path, capsys):
         assert main(["perf", "record", "--scale", "smoke", "--no-append",
                      "--audit", "--trajectory",
