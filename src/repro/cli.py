@@ -132,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic priority-class mix, e.g. "
                        "'critical=0.1,standard=0.8,batch=0.1' "
                        "(default: all standard)")
+    serve.add_argument("--chaos", metavar="SPEC", default=None,
+                       help="inject deterministic faults while serving "
+                       "(spec grammar: [seed=N;]kind[:key=val,...]; kinds: "
+                       "crash, wedge, slow, cache-corrupt, version-skew, "
+                       "build-fail, obs-drop; see docs/RESILIENCE.md); "
+                       "routes through the fleet path even at "
+                       "--replicas 1")
     serve.add_argument("--save-trace", metavar="PATH",
                        help="also write the served trace to this JSON file")
     serve.add_argument("--verify", action="store_true",
@@ -149,6 +156,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome trace-event JSON of the serving "
                        "run (load in Perfetto / chrome://tracing)")
     _add_jobs_flag(serve)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the canned fault matrix and report recovery "
+        "outcomes (the chaos-gate; see docs/RESILIENCE.md)")
+    chaos.add_argument("--matrix", choices=("ci", "full"), default="ci",
+                       help="scenario set: 'ci' covers every fault kind "
+                       "on short traces; 'full' adds the 10k-request "
+                       "combined acceptance replay (default: ci)")
+    chaos.add_argument("--seed", type=int, default=1234,
+                       help="fault-plan and trace seed; two runs with "
+                       "the same seed must produce identical reports "
+                       "(default: 1234)")
+    chaos.add_argument("--report", metavar="PATH",
+                       help="write the full JSON report to this file "
+                       "(the CI artifact)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the report as JSON on stdout")
+    _add_jobs_flag(chaos)
 
     obs = sub.add_parser(
         "obs", help="run a pinned workload and dump the telemetry registry")
@@ -439,7 +464,10 @@ def _cmd_serve(args) -> int:
     if args.save_trace:
         save_trace(args.save_trace, trace)
 
-    if args.replicas != 1 or args.compare_serial:
+    if args.replicas != 1 or args.compare_serial or args.chaos:
+        # --chaos always takes the fleet path: fault injection and the
+        # recovery machinery (breakers, failover) live there, even for
+        # a fleet of one.
         return _serve_fleet(args, trace)
 
     arch = ARCHITECTURES[args.arch]
@@ -540,7 +568,7 @@ def _serve_fleet(args, trace) -> int:
             jobs=_resolve_jobs_arg(args),
         )
         fleet = FleetEngine(config, registry=obs.reset_registry(),
-                            tracer=obs.reset_tracer())
+                            tracer=obs.reset_tracer(), chaos=args.chaos)
     except ReproError as exc:
         print("bad serving configuration: %s" % exc, file=sys.stderr)
         return 2
@@ -590,10 +618,22 @@ def _serve_fleet(args, trace) -> int:
         snap["serial_mismatches"] = mismatches
         snap["fleet_speedup"] = (
             snap["sustained_rps"] / serial_rps if serial_rps else 0.0)
+    if fleet.chaos is not None:
+        snap["chaos"] = {
+            "plan": fleet.chaos.plan.describe(),
+            "fired": fleet.chaos.fired(),
+            "unfired": fleet.chaos.unfired(),
+        }
     if args.json:
         print(json.dumps(snap, indent=2))
         return 0 if not mismatches else 1
     print(fleet.format_stats())
+    if fleet.chaos is not None:
+        fired = sum(entry["fired"] for entry in snap["chaos"]["fired"])
+        unfired = snap["chaos"]["unfired"]
+        print("chaos                 : %s (%d firings%s)"
+              % (snap["chaos"]["plan"], fired,
+                 ("; unfired: " + ", ".join(unfired)) if unfired else ""))
     if args.verify:
         print("verified               : all %d served responses match the "
               "reference" % result.served)
@@ -601,6 +641,36 @@ def _serve_fleet(args, trace) -> int:
         print("serial engine         : %.0f req/modeled-s; "
               "%d response mismatches vs fleet" % (serial_rps, mismatches))
     return 0 if not mismatches else 1
+
+
+def _cmd_chaos(args) -> int:
+    """Run the canned fault matrix; exit 1 on any recovery failure.
+
+    This is the CI chaos-gate: every fault kind is injected against a
+    seeded fleet replay (each scenario twice, independently) and the
+    report states — per scenario — whether anything was lost,
+    duplicated, served with non-baseline bytes, left a breaker stuck
+    open, or diverged between the two same-seed runs.
+    """
+    from repro.chaos.matrix import format_chaos_report, run_matrix
+    from repro.errors import ChaosError
+
+    try:
+        report = run_matrix(
+            args.matrix, seed=args.seed, jobs=_resolve_jobs_arg(args),
+            log=None if args.json else print)
+    except ChaosError as exc:
+        print("chaos: %s" % exc, file=sys.stderr)
+        return 2
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_chaos_report(report))
+    return 0 if report["passed"] else 1
 
 
 def _cmd_obs(args) -> int:
@@ -1146,6 +1216,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_summary(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "obs":
             return _cmd_obs(args)
         if args.command == "backends":

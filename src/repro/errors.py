@@ -34,6 +34,14 @@ class BackendError(ReproError):
     """A kernel-backend registry operation (lookup, registration) is invalid."""
 
 
+class TransientBackendError(BackendError):
+    """A backend operation failed transiently and may succeed on retry."""
+
+
+class ChaosError(ReproError):
+    """A fault-injection plan or chaos spec is invalid."""
+
+
 class TraceError(ReproError):
     """A memory-access trace request is malformed."""
 

@@ -24,16 +24,24 @@ the degradation:
 A request whose absolute deadline has *already passed* on arrival is
 shed immediately (reason ``"expired"``) — serving it would burn device
 time producing an answer nobody is waiting for.  Requests shed for
-queue pressure carry reason ``"overload"``.  Every shed increments the
+queue pressure carry reason ``"overload"``, and a request the fleet
+admitted but could not serve even after failover (every retry round
+exhausted) is accounted here too, reason ``"failed"`` — shedding is the
+single ledger of unanswered requests.  Every shed increments the
 ``fleet_shed_total{reason,priority}`` counter — the shed rate is an SLO
 headline, not a log line.
+
+The per-request :class:`ShedRecord` detail is kept in a bounded ring
+buffer (``shed_record_cap``, default 10k): a long-lived fleet under
+sustained overload must not grow memory without bound.  The aggregate
+counters stay exact forever; only the per-request detail ages out.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, Optional
 
 from repro.errors import ReproError
 from repro.obs.metrics import Registry
@@ -41,15 +49,18 @@ from repro.serve.request import PRIORITY_CLASSES, ConvRequest
 
 from repro.fleet.router import FleetRouter
 
-__all__ = ["AdmissionController", "ShedRecord"]
+__all__ = ["AdmissionController", "ShedRecord", "DEFAULT_SHED_RECORD_CAP"]
+
+#: Default bound on retained per-request shed detail records.
+DEFAULT_SHED_RECORD_CAP = 10_000
 
 
 @dataclass(frozen=True)
 class ShedRecord:
-    """One request the fleet refused to serve, and why."""
+    """One request the fleet did not answer, and why."""
 
     req_id: int
-    reason: str                  # "expired" | "overload"
+    reason: str                  # "expired" | "overload" | "failed"
     priority: str
     arrival_s: float
 
@@ -63,15 +74,21 @@ class AdmissionController:
         queue_depth: int,
         window_s: float,
         registry: Optional[Registry] = None,
+        shed_record_cap: int = DEFAULT_SHED_RECORD_CAP,
     ):
         if queue_depth < 1:
             raise ReproError("queue depth must be at least 1, got %d"
                              % queue_depth)
         if window_s < 0:
             raise ReproError("admission window must be non-negative")
+        if shed_record_cap < 1:
+            raise ReproError(
+                "shed record cap must be at least 1, got %d"
+                % shed_record_cap)
         self.router = router
         self.queue_depth = queue_depth
         self.window_s = window_s
+        self.shed_record_cap = shed_record_cap
         self.registry = registry if registry is not None else Registry()
         self._windows = [deque() for _ in range(router.n_replicas)]
         self._admitted = self.registry.counter(
@@ -84,7 +101,9 @@ class AdmissionController:
             "fleet_queue_depth",
             "Modeled sliding-window queue occupancy, by replica",
             labelnames=("replica",))
-        self.shed_records: List[ShedRecord] = []
+        # Ring buffer: aggregate counters stay exact; per-request
+        # detail is bounded so sustained overload cannot grow memory.
+        self.shed_records: Deque[ShedRecord] = deque(maxlen=shed_record_cap)
 
     # ------------------------------------------------------------------
     def depths(self, now: float) -> List[int]:
@@ -128,6 +147,11 @@ class AdmissionController:
         self._depth_gauge.set(len(self._windows[replica]), replica=replica)
         return replica
 
+    def record_abandoned(self, request: ConvRequest) -> None:
+        """Account a request admitted but never served (failover
+        exhausted every retry round) — reason ``"failed"``."""
+        self._record_shed(request, "failed")
+
     def _record_shed(self, request: ConvRequest, reason: str) -> None:
         self._shed.inc(reason=reason, priority=request.priority)
         self.shed_records.append(ShedRecord(
@@ -154,6 +178,7 @@ class AdmissionController:
         return {
             "queue_depth": self.queue_depth,
             "window_s": self.window_s,
+            "shed_record_cap": self.shed_record_cap,
             "admitted": self.admitted,
             "shed": self.shed,
             "shed_rate": self.shed_rate,

@@ -12,24 +12,37 @@ independent :class:`~repro.serve.engine.ServeEngine` instances:
    :class:`~repro.fleet.shared_cache.SharedPlanCache`, and only then
    the design-space explorer.  The winning plans are shipped to the
    replicas so every replica starts hot.
-3. **Replay** — each replica serves its sub-trace through
+3. **Replay with failover** — each replica serves its sub-trace through
    :func:`repro.parallel.parallel_map` (one work item per replica;
-   ``jobs=1`` runs the identical code in-process), with per-replica
-   telemetry snapshots merged back into the fleet's registry and
-   tracer — replica spans appear in the Perfetto export on
-   ``replica<i>/...`` tracks.
+   ``jobs=1`` runs the identical code in-process).  A shard attempt
+   that *fails* — a crashed or wedged replica, a dead pool worker, or
+   an injected fault from an installed :class:`~repro.chaos.injector.
+   FaultInjector` — feeds the replica's circuit breaker
+   (:mod:`repro.fleet.health`) and is re-routed whole to a healthy
+   survivor, bounded by ``failover_retries`` rounds with exponential
+   virtual-clock backoff.  Because every replica builds an identical
+   fresh engine from the same seeds, a failed-over shard's responses
+   are bit-identical to what the failed replica would have produced —
+   failover moves work, never changes answers.  Stragglers can be
+   hedged (``hedge=True``): a shard whose modeled clock exceeds
+   ``hedge_factor`` x the median is speculatively re-dispatched and the
+   faster attempt bounds the makespan.
 4. **Reassemble + account** — responses are stitched back into request
-   order by id (bit-identical at any ``jobs`` degree), and the SLO
-   surface (:mod:`repro.fleet.slo`) records latency percentiles,
-   deadline misses, and the fleet makespan.
+   order by id with an exactly-once guard (a request can never be
+   answered twice, and an admitted request that every failover round
+   failed to serve is *accounted*, as a ``failed`` shed, never silently
+   lost), and the SLO surface (:mod:`repro.fleet.slo`) records latency
+   percentiles, deadline misses, the fleet makespan, and the current
+   degradation level.
 
 Determinism contract: with a queue bound loose enough that nothing is
 shed, the fleet's responses are **bit-identical** to a single
 ``ServeEngine`` serially replaying the same trace — same outputs, same
 winning backends — because routing only partitions the trace and every
-replica runs the same deterministic planning and execution stack.
-Batching composition (and therefore latency metadata) legitimately
-differs: each replica batches only the requests routed to it.
+replica runs the same deterministic planning and execution stack.  The
+contract survives chaos: an installed fault plan is seeded, so two runs
+with the same plan fail and recover identically, and every *served*
+response stays bit-identical to the fault-free replay.
 """
 
 from __future__ import annotations
@@ -38,18 +51,21 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.chaos.injector import FaultInjector
+from repro.chaos.plan import FaultPlan
 from repro.errors import ReproError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.obs.exporters import write_chrome_trace
 from repro.obs.metrics import Registry
 from repro.obs.snapshot import merge_registry_snapshot, worker_snapshot
 from repro.obs.tracing import Tracer, VIRTUAL_TRACK
-from repro.parallel import parallel_map
+from repro.parallel import ParallelFailure, parallel_map
 from repro.serve.dispatch import Dispatcher
 from repro.serve.engine import ServeEngine
 from repro.serve.plan_cache import PlanCache
 from repro.serve.request import ConvRequest, ConvResponse, plan_key
 from repro.fleet.admission import AdmissionController, ShedRecord
+from repro.fleet.health import HealthTracker
 from repro.fleet.router import FleetRouter
 from repro.fleet.shared_cache import SharedPlanCache, cache_version_token
 from repro.fleet.slo import FleetStats, format_fleet_stats
@@ -96,7 +112,14 @@ class FleetConfig:
     """Everything needed to (re)build the fleet and its replicas.
 
     The per-replica fields mirror :class:`~repro.serve.engine.ServeEngine`
-    so a fleet of one is configured exactly like a single engine.
+    so a fleet of one is configured exactly like a single engine.  The
+    resilience fields govern recovery (docs/RESILIENCE.md): how many
+    failover rounds a failed shard gets (``failover_retries``), the
+    virtual-clock backoff between rounds (``retry_backoff_s``), the
+    circuit-breaker trip point and cool-down (``breaker_threshold`` /
+    ``breaker_cooldown_s``), transient plan-build retries
+    (``plan_retries``), and straggler hedging (``hedge`` /
+    ``hedge_factor``).
     """
 
     arch: GPUArchitecture = KEPLER_K40M
@@ -108,12 +131,40 @@ class FleetConfig:
     backends: Optional[Tuple[str, ...]] = None
     queue_depth: int = 64
     jobs: Optional[Union[int, str]] = None
+    failover_retries: int = 2
+    retry_backoff_s: float = 1e-3
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 0.05
+    plan_retries: int = 2
+    hedge: bool = False
+    hedge_factor: float = 4.0
+    shed_record_cap: int = 10_000
 
     def __post_init__(self):
         check_replicas(self.replicas)
         check_queue_depth(self.queue_depth)
         if self.backends is not None:
             self.backends = tuple(self.backends)
+        if self.failover_retries < 0:
+            raise ReproError("failover_retries must be >= 0, got %d"
+                             % self.failover_retries)
+        if self.retry_backoff_s < 0:
+            raise ReproError("retry_backoff_s must be non-negative")
+        if self.hedge_factor <= 1.0:
+            raise ReproError("hedge_factor must be > 1.0, got %g"
+                             % self.hedge_factor)
+        if self.plan_retries < 0:
+            raise ReproError("plan_retries must be >= 0, got %d"
+                             % self.plan_retries)
+        if self.breaker_threshold < 1:
+            raise ReproError("breaker_threshold must be >= 1, got %d"
+                             % self.breaker_threshold)
+        if self.breaker_cooldown_s <= 0:
+            raise ReproError("breaker_cooldown_s must be positive, got %g"
+                             % self.breaker_cooldown_s)
+        if self.shed_record_cap < 1:
+            raise ReproError("shed record cap must be >= 1, got %d"
+                             % self.shed_record_cap)
 
     def engine_kwargs(self) -> dict:
         """Constructor kwargs for one replica's ServeEngine."""
@@ -133,11 +184,16 @@ class FleetResult:
 
     ``responses[i]`` is the response for ``requests[i]`` or ``None`` if
     it was shed; ``assignments[i]`` is its replica (or ``None``).
+    ``shed`` covers every unanswered request: refused at admission
+    (``expired`` / ``overload``) or abandoned after exhausting failover
+    rounds (``failed``) — nothing goes missing without a record.
     """
 
     responses: List[Optional[ConvResponse]]
     assignments: List[Optional[int]]
     shed: List[ShedRecord] = field(default_factory=list)
+    failovers: int = 0
+    hedges: int = 0
 
     @property
     def served(self) -> int:
@@ -147,6 +203,11 @@ class FleetResult:
     def shed_count(self) -> int:
         return len(self.shed)
 
+    @property
+    def abandoned(self) -> List[ShedRecord]:
+        """Requests admitted but never served (failover exhausted)."""
+        return [record for record in self.shed if record.reason == "failed"]
+
 
 def _serve_replica_shard(payload) -> dict:
     """Replay one replica's sub-trace; module-level so pools pickle it.
@@ -154,20 +215,47 @@ def _serve_replica_shard(payload) -> dict:
     Runs against a replica-private registry/tracer and ships both back
     as a snapshot, so fleet telemetry is complete and identical whether
     this runs in-process (``jobs=1``) or in a pool worker.
+
+    ``directives`` (from an installed fault injector) simulate this
+    attempt's share of the chaos plan: a ``crash`` serves ``after``
+    requests and then loses the whole attempt, a ``wedge`` returns
+    nothing at all (the modeled worker-timeout), ``slow`` inflates the
+    reported clock, and ``drop_obs`` loses the telemetry snapshot in
+    transit.  Failures come back as *structured outcomes* (a dict with
+    a ``failed`` reason), never exceptions, so the parent's failover
+    loop — not the pool's retry machinery — owns recovery.
     """
-    replica, engine_kwargs, requests, seeds = payload
+    replica, engine_kwargs, requests, seeds, directives = payload
+    directives = directives or {}
+    fault = directives.get("fault")
+    if fault == "wedge":
+        return {"replica": replica, "failed": "wedge"}
     registry = Registry()
     tracer = Tracer()
     engine = ServeEngine(registry=registry, tracer=tracer, **engine_kwargs)
     for key, plan in seeds:
         engine.plan_cache.put(key, plan)
+    if fault == "crash":
+        # Mid-flight loss: serve a prefix, then die with every response
+        # of the attempt (including the prefix's) unrecoverable.
+        prefix = sorted(requests, key=lambda r: r.arrival_s)
+        for request in prefix[:directives.get("after", 0)]:
+            engine.submit(request)
+        return {"replica": replica, "failed": "crash",
+                "served_before_crash": min(directives.get("after", 0),
+                                           len(prefix))}
     responses = engine.serve_trace(requests)
+    clock_s = engine.clock_s
+    if fault == "slow":
+        clock_s *= directives.get("factor", 4.0)
     return {
         "replica": replica,
         "responses": responses,
-        "clock_s": engine.clock_s,
+        "clock_s": clock_s,
+        "slow": fault == "slow",
         "stats": engine.stats(),
-        "obs": worker_snapshot(registry, tracer),
+        "obs": (None if directives.get("drop_obs")
+                else worker_snapshot(registry, tracer)),
     }
 
 
@@ -180,10 +268,12 @@ class FleetEngine:
         registry: Optional[Registry] = None,
         tracer: Optional[Tracer] = None,
         shared_cache: Optional[SharedPlanCache] = None,
+        chaos: Union[None, str, FaultPlan, FaultInjector] = None,
     ):
         self.config = config if config is not None else FleetConfig()
         self.registry = registry if registry is not None else Registry()
         self.tracer = tracer
+        self.chaos = self._resolve_chaos(chaos)
         self.router = FleetRouter(self.config.replicas,
                                   registry=self.registry)
         # The admission window equals the batching deadline: that is
@@ -191,9 +281,14 @@ class FleetEngine:
         # before the batcher is guaranteed to have flushed it.
         self.admission = AdmissionController(
             self.router, queue_depth=self.config.queue_depth,
-            window_s=self.config.deadline_s, registry=self.registry)
+            window_s=self.config.deadline_s, registry=self.registry,
+            shed_record_cap=self.config.shed_record_cap)
         self.shared_cache = (shared_cache if shared_cache is not None
                              else SharedPlanCache(registry=self.registry))
+        self.health = HealthTracker(
+            self.config.replicas, registry=self.registry,
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s)
         self.slo = FleetStats(registry=self.registry)
         # Parent-side planner: its PlanCache is the fleet-local tier,
         # consulted before the shared tier on every distinct shape.
@@ -203,10 +298,47 @@ class FleetEngine:
                             registry=self.registry),
             backends=self.config.backends,
             registry=self.registry, tracer=tracer,
+            chaos=self.chaos, plan_retries=self.config.plan_retries,
         )
+        if self.chaos is not None:
+            self.shared_cache.install_chaos(self.chaos)
         self._cache_token = cache_version_token(
             self.config.arch, self._planner.backends)
         self._last_engine_stats: Dict[int, dict] = {}
+        # The fleet's monotone virtual clock: breaker cool-downs and
+        # failover backoff live on it.  Each replay advances it by the
+        # replay's makespan; advance_clock models idle time in between.
+        self._epoch_s = 0.0
+
+    def _resolve_chaos(self, chaos) -> Optional[FaultInjector]:
+        if chaos is None:
+            chaos = FaultPlan.from_env()
+        if chaos is None:
+            return None
+        if isinstance(chaos, str):
+            chaos = FaultPlan.parse(chaos)
+        if isinstance(chaos, FaultPlan):
+            chaos = FaultInjector(chaos, self.config.replicas)
+        if not isinstance(chaos, FaultInjector):
+            raise ReproError(
+                "chaos must be a spec string, FaultPlan, or FaultInjector; "
+                "got %r" % (type(chaos).__name__,))
+        return chaos
+
+    # ------------------------------------------------------------------
+    # Virtual clock
+    # ------------------------------------------------------------------
+    @property
+    def clock_s(self) -> float:
+        """The fleet's virtual-clock position (breaker timeline)."""
+        return self._epoch_s
+
+    def advance_clock(self, dt_s: float) -> float:
+        """Model idle virtual time (e.g. to let breakers cool down)."""
+        if dt_s < 0:
+            raise ReproError("cannot advance the clock backwards")
+        self._epoch_s += dt_s
+        return self._epoch_s
 
     # ------------------------------------------------------------------
     # Planning (two cache tiers)
@@ -217,14 +349,18 @@ class FleetEngine:
         return self._cache_token
 
     def plan_for(self, problem):
-        """Plan one shape: local tier, then shared tier, then the DSE."""
+        """Plan one shape: local tier, then shared tier, then the DSE.
+
+        Transient build failures (injected or real) are retried up to
+        ``plan_retries`` times by the planner before surfacing.
+        """
         key = plan_key(problem, self.config.arch)
         plan = self._planner.cache.lookup(key)
         if plan is not None:
             return plan
         plan = self.shared_cache.get_or_build(
             self._cache_token, key,
-            lambda: self._planner.build_plan(problem))
+            lambda: self._planner.build_plan_retrying(problem))
         self._planner.cache.put(key, plan)
         return plan
 
@@ -243,7 +379,10 @@ class FleetEngine:
         by_req_id = {r.req_id: r for r in reqs}
         if len(by_req_id) != len(reqs):
             raise ReproError("fleet traces need unique request ids")
-        shed_mark = len(self.admission.shed_records)
+        shed_before = self.admission.shed
+        failovers_before = self.health.failovers
+        hedges_before = self.health.hedges
+        self.health.begin_replay()
 
         # Phase 1: route + admit in virtual-time order.
         shards: List[List[ConvRequest]] = [
@@ -266,46 +405,181 @@ class FleetEngine:
                 if key not in seen:
                     seen[key] = self.plan_for(request.problem)
             seeds.append(list(seen.items()))
-
-        # Phase 3: replay each replica (in-process when jobs=1, via the
-        # process pool otherwise — same worker function either way).
-        payloads = []
-        engine_kwargs = self.config.engine_kwargs()
-        for replica, shard in enumerate(shards):
-            if not shard:
-                continue
-            payloads.append(
-                (replica, engine_kwargs, shard, seeds[replica]))
         try:
             pickle.dumps(seeds)
         except Exception:
             # Unpicklable plans cannot ride to pool workers; replicas
             # will rebuild them (deterministically identical).
-            payloads = [(r, kw, shard, []) for r, kw, shard, _ in payloads]
-        region_start_s = self.tracer.now_s() if self.tracer else 0.0
-        results = parallel_map(
-            _serve_replica_shard, payloads,
-            jobs=self.config.jobs, merge_obs=False,
-        )
+            seeds = [[] for _ in shards]
 
-        # Phase 4: merge telemetry, account SLOs, reassemble.
-        responses_by_id: Dict[int, ConvResponse] = {}
-        makespan = 0.0
-        for res in results:
-            replica = res["replica"]
-            self._merge_replica_obs(replica, res["obs"], region_start_s)
-            self._last_engine_stats[replica] = res["stats"]
-            makespan = max(makespan, res["clock_s"])
-            for response in res["responses"]:
-                request = by_req_id[response.req_id]
-                self.slo.record_response(replica, request, response)
-                responses_by_id[response.req_id] = response
+        # Phase 3: replay with failover (see _replay_with_failover).
+        engine_kwargs = self.config.engine_kwargs()
+        work = [(replica, shard, seeds[replica])
+                for replica, shard in enumerate(shards) if shard]
+        region_start_s = self.tracer.now_s() if self.tracer else 0.0
+        responses_by_id, makespan, abandoned = self._replay_with_failover(
+            work, engine_kwargs, by_req_id, region_start_s)
+
+        # Phase 4: account the leftovers and reassemble.
+        for request in abandoned:
+            self.admission.record_abandoned(request)
         self.slo.record_makespan(makespan)
+        self._epoch_s += makespan
+        shed_new = self.admission.shed - shed_before
+        records = list(self.admission.shed_records)
         return FleetResult(
             responses=[responses_by_id.get(r.req_id) for r in reqs],
             assignments=[assignment[r.req_id] for r in reqs],
-            shed=self.admission.shed_records[shed_mark:],
+            shed=records[len(records) - min(shed_new, len(records)):],
+            failovers=self.health.failovers - failovers_before,
+            hedges=self.health.hedges - hedges_before,
         )
+
+    # ------------------------------------------------------------------
+    def _replay_with_failover(self, work, engine_kwargs, by_req_id,
+                              region_start_s):
+        """Phase 3: dispatch shards, absorbing failures round by round.
+
+        Returns ``(responses_by_id, makespan, abandoned_requests)``.
+        Invariants: a request id is answered at most once (exactly-once
+        guard) and a shard is attempted at most ``1 + failover_retries``
+        times, each retry on a breaker-approved replica with
+        exponential virtual-clock backoff.
+        """
+        now = self._epoch_s
+        loads = {replica: len(shard) for replica, shard, _ in work}
+        abandoned: List[ConvRequest] = []
+
+        # Breaker-aware initial placement: a shard whose home replica
+        # is breaker-open fails over before it is ever dispatched.
+        pending = []
+        for replica, shard, seed in work:
+            if self.health.allow(replica, now):
+                pending.append((replica, shard, seed))
+                continue
+            target = self._failover_target(replica, now, loads)
+            if target is None:
+                abandoned.extend(shard)
+                continue
+            self.health.record_failover("breaker-open")
+            loads[target] = loads.get(target, 0) + len(shard)
+            pending.append((target, shard, seed))
+
+        responses_by_id: Dict[int, ConvResponse] = {}
+        makespan = 0.0
+        round_no = 0
+        while pending:
+            payloads = []
+            for replica, shard, seed in pending:
+                directives = (self.chaos.replica_directives(replica)
+                              if self.chaos is not None else None)
+                payloads.append(
+                    (replica, engine_kwargs, shard, seed, directives))
+            results = parallel_map(
+                _serve_replica_shard, payloads,
+                jobs=self.config.jobs, merge_obs=False, on_error="return",
+            )
+            failed = []
+            succeeded = []
+            for (replica, shard, seed), res in zip(pending, results):
+                if isinstance(res, ParallelFailure):
+                    reason = "pool"
+                elif res.get("failed"):
+                    reason = res["failed"]
+                else:
+                    reason = None
+                if reason is not None:
+                    self.health.record_failure(replica, reason, now)
+                    failed.append((replica, shard, seed, reason))
+                    continue
+                self.health.record_success(replica, now)
+                self._absorb_result(res, by_req_id, responses_by_id,
+                                    region_start_s)
+                succeeded.append((replica, shard, seed, res))
+            makespan = max(
+                [makespan]
+                + [self._effective_clock(item, engine_kwargs, now, loads)
+                   for item in succeeded])
+            if not failed:
+                break
+            round_no += 1
+            if round_no > self.config.failover_retries:
+                for _, shard, _, _ in failed:
+                    abandoned.extend(shard)
+                break
+            now += self.config.retry_backoff_s * (2 ** (round_no - 1))
+            pending = []
+            for replica, shard, seed, reason in failed:
+                target = self._failover_target(replica, now, loads)
+                if target is None:
+                    abandoned.extend(shard)
+                    continue
+                self.health.record_failover(reason)
+                loads[target] = loads.get(target, 0) + len(shard)
+                pending.append((target, shard, seed))
+        return responses_by_id, makespan, abandoned
+
+    def _effective_clock(self, item, engine_kwargs, now, loads) -> float:
+        """A successful shard's makespan contribution, hedging included.
+
+        With hedging enabled, a straggler shard (injected ``slow`` or a
+        clock past ``hedge_factor`` x its unhedged siblings') is
+        speculatively re-served on a healthy peer; the faster attempt's
+        clock bounds the makespan.  Responses are NOT taken from the
+        hedge — both attempts are bit-identical by construction, so the
+        primary's already-absorbed responses stand and the exactly-once
+        guarantee is never at risk.
+        """
+        replica, shard, seed, res = item
+        if not self.config.hedge or not res.get("slow"):
+            return res["clock_s"]
+        target = self._failover_target(replica, now, loads)
+        if target is None:
+            return res["clock_s"]
+        self.health.record_hedge()
+        directives = (self.chaos.replica_directives(target)
+                      if self.chaos is not None else None)
+        hedge = _serve_replica_shard(
+            (target, engine_kwargs, shard, seed, directives))
+        if hedge.get("failed") or not hedge.get("responses"):
+            return res["clock_s"]
+        return min(res["clock_s"], hedge["clock_s"])
+
+    def _failover_target(self, failed: int, now: float,
+                         loads: Dict[int, int]) -> Optional[int]:
+        """The survivor a failed shard re-routes to, or None.
+
+        Deterministic: the least-loaded breaker-approved replica other
+        than the failed one (ties break toward the lowest index); the
+        failed replica itself is retried only when it is the sole
+        approved replica left.
+        """
+        candidates = [r for r in range(self.config.replicas)
+                      if r != failed and self.health.allow(r, now)]
+        if not candidates:
+            return failed if self.health.allow(failed, now) else None
+        return min(candidates, key=lambda r: (loads.get(r, 0), r))
+
+    def _absorb_result(self, res, by_req_id, responses_by_id,
+                       region_start_s) -> None:
+        """Fold one successful shard attempt into the fleet surfaces."""
+        replica = res["replica"]
+        if res["obs"] is None:
+            # The snapshot was lost in transit (obs-drop fault): count
+            # it and keep serving — telemetry loss must never fail a
+            # request.
+            self.health.record_obs_drop()
+        else:
+            self._merge_replica_obs(replica, res["obs"], region_start_s)
+        self._last_engine_stats[replica] = res["stats"]
+        for response in res["responses"]:
+            if response.req_id in responses_by_id:
+                raise ReproError(
+                    "duplicate response for request %d (exactly-once "
+                    "reassembly violated)" % response.req_id)
+            request = by_req_id[response.req_id]
+            self.slo.record_response(replica, request, response)
+            responses_by_id[response.req_id] = response
 
     def _merge_replica_obs(self, replica: int, snapshot: dict,
                            offset_s: float) -> None:
@@ -342,6 +616,7 @@ class FleetEngine:
             admission_stats=self.admission.stats(),
             router_stats=self.router.stats(),
             shared_cache_stats=self.shared_cache.stats(),
+            health_stats=self.health.stats(self._epoch_s),
         )
         for replica, engine_stats in self._last_engine_stats.items():
             snap["replicas"][str(replica)]["engine"] = {

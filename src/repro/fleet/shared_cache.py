@@ -15,20 +15,46 @@ preset, a different ``--backends`` subset, an upgrade that retunes the
 cost model — and old entries become unreachable instead of silently
 serving stale plans.  :meth:`SharedPlanCache.invalidate` additionally
 drops everything on demand (e.g. an operator rolling a config change).
+
+The shared tier is also the fleet's one *trusted-at-a-distance* store:
+a corrupted entry would poison every replica at once.  So each entry
+carries a content checksum (BLAKE2 over the plan's pickled bytes),
+validated on every lookup; a mismatch **quarantines** the entry — it is
+dropped, counted (``fleet_shared_cache_corruptions_total``), and
+rebuilt by the next ``get_or_build`` — never served.  An installed
+:class:`~repro.chaos.injector.FaultInjector` exercises exactly these
+paths: ``cache-corrupt`` tampers a stored checksum, ``version-skew``
+makes a lookup surface as stale (dropped and counted under
+``fleet_shared_cache_skew_total``).
 """
 
 from __future__ import annotations
 
 import hashlib
+import pickle
 from collections import OrderedDict
 from dataclasses import fields, is_dataclass
 from typing import Callable, Optional, Sequence, Tuple
 
+from repro.chaos.plan import FaultKind
 from repro.errors import ReproError
 from repro.gpu.arch import GPUArchitecture
 from repro.obs.metrics import Registry
 
-__all__ = ["SharedPlanCache", "cache_version_token"]
+__all__ = ["SharedPlanCache", "cache_version_token", "plan_checksum"]
+
+
+def plan_checksum(plan: object) -> Optional[str]:
+    """Content digest of a plan, or None when it cannot be pickled.
+
+    Unpicklable plans skip validation (there are no bytes to rot in
+    transit for an object that never leaves this process).
+    """
+    try:
+        blob = pickle.dumps(plan)
+    except Exception:
+        return None
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
 
 
 def cache_version_token(
@@ -82,8 +108,19 @@ class SharedPlanCache:
             "LRU evictions from the shared tier")
         self._entries_gauge = self.registry.gauge(
             "fleet_shared_cache_entries", "Plans currently in the shared tier")
+        self._corruptions = self.registry.counter(
+            "fleet_shared_cache_corruptions_total",
+            "Entries quarantined after a read-side checksum mismatch")
+        self._skews = self.registry.counter(
+            "fleet_shared_cache_skew_total",
+            "Entries dropped as version-skewed on lookup")
+        self._chaos = None
 
     # ------------------------------------------------------------------
+    def install_chaos(self, injector) -> None:
+        """Attach a fault injector (cache-corrupt / version-skew hooks)."""
+        self._chaos = injector
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -91,22 +128,49 @@ class SharedPlanCache:
         """Return the shared plan for (token, key), or None on a miss.
 
         A plan published under a different version token never hits —
-        that is the versioned-invalidation contract.
+        that is the versioned-invalidation contract.  Every hit is
+        checksum-validated before it is served: an entry whose stored
+        digest no longer matches its content is quarantined (dropped
+        and counted) and reported as a miss, so the caller rebuilds.
         """
-        entry = self._entries.get((token, key))
+        full_key = (token, key)
+        entry = self._entries.get(full_key)
         if entry is None:
             self._misses.inc()
             return None
-        self._entries.move_to_end((token, key))
+        plan, checksum = entry
+        if (self._chaos is not None
+                and self._chaos.take(FaultKind.VERSION_SKEW) is not None):
+            # Injected skew: the entry surfaces under a token that no
+            # longer describes this fleet — unreachable, by contract.
+            del self._entries[full_key]
+            self._skews.inc()
+            self._misses.inc()
+            self._entries_gauge.set(len(self._entries))
+            return None
+        if checksum is not None and plan_checksum(plan) != checksum:
+            del self._entries[full_key]
+            self._corruptions.inc()
+            self._misses.inc()
+            self._entries_gauge.set(len(self._entries))
+            return None
+        self._entries.move_to_end(full_key)
         self._hits.inc()
-        return entry
+        return plan
 
     def publish(self, token: str, key: Tuple, plan: object) -> None:
         """Insert (or refresh) a plan under the given version token."""
         full_key = (token, key)
+        checksum = plan_checksum(plan)
+        if (self._chaos is not None
+                and self._chaos.take(FaultKind.CACHE_CORRUPT) is not None):
+            # Injected rot: damage the stored digest so the read-side
+            # validation must catch it (the plan object itself is left
+            # alone — a corrupted entry must never be *served*).
+            checksum = "corrupt!" + (checksum or "")
         if full_key in self._entries:
             self._entries.move_to_end(full_key)
-        self._entries[full_key] = plan
+        self._entries[full_key] = (plan, checksum)
         self._publishes.inc()
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -153,5 +217,7 @@ class SharedPlanCache:
             "publishes": int(round(self._publishes.total())),
             "evictions": int(round(self._evictions.total())),
             "invalidations": int(round(self._invalidations.total())),
+            "corruptions": int(round(self._corruptions.total())),
+            "version_skews": int(round(self._skews.total())),
             "hit_rate": self.hit_rate,
         }

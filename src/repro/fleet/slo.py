@@ -123,6 +123,7 @@ class FleetStats:
         admission_stats: Optional[dict] = None,
         router_stats: Optional[dict] = None,
         shared_cache_stats: Optional[dict] = None,
+        health_stats: Optional[dict] = None,
     ) -> dict:
         snap = {
             "served": self.served,
@@ -148,6 +149,9 @@ class FleetStats:
             snap["router"] = dict(router_stats)
         if shared_cache_stats is not None:
             snap["shared_plan_cache"] = dict(shared_cache_stats)
+        if health_stats is not None:
+            snap["health"] = dict(health_stats)
+            snap["degradation"] = health_stats.get("degradation", "healthy")
         return snap
 
 
@@ -183,6 +187,15 @@ def format_fleet_stats(snap: dict) -> str:
                      "(%d hits, %d misses, %d publishes, %d invalidations)"
                      % (sc["entries"], sc["hit_rate"], sc["hits"],
                         sc["misses"], sc["publishes"], sc["invalidations"]))
+    if "health" in snap:
+        health = snap["health"]
+        open_breakers = sum(1 for state in health["breakers"].values()
+                            if state == "open")
+        lines.append("health                : %s (%d open breakers, "
+                     "%d failures, %d failovers, %d hedges)"
+                     % (health["degradation"], open_breakers,
+                        health["failures"], health["failovers"],
+                        health["hedges"]))
     for replica, block in sorted(snap["replicas"].items(),
                                  key=lambda kv: int(kv[0])):
         lines.append(

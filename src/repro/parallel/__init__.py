@@ -22,6 +22,7 @@ from repro.parallel.executor import (
     DEFAULT_RETRIES,
     DEFAULT_TIMEOUT_S,
     JOBS_ENV_VAR,
+    ParallelFailure,
     parallel_map,
     resolve_jobs,
     shard,
@@ -33,6 +34,7 @@ __all__ = [
     "DEFAULT_RETRIES",
     "DEFAULT_TIMEOUT_S",
     "JOBS_ENV_VAR",
+    "ParallelFailure",
     "parallel_map",
     "resolve_jobs",
     "shard",

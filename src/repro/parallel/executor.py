@@ -26,6 +26,16 @@ batch dispatch).  Its contract:
 * **Bounded failure handling** — each shard gets ``timeout_s`` to
   complete and ``retries`` re-submissions with exponential backoff; a
   timed-out pool is discarded (its workers may be wedged) and rebuilt.
+  Every retry, timeout, and pool restart increments an obs counter
+  (``parallel_retries_total`` / ``parallel_timeouts_total`` /
+  ``parallel_pool_restarts_total``) on the process-wide registry, so
+  executor trouble is visible in every stats dump — and because the
+  counters live on the ordinary registry, a nested caller's worker
+  snapshot carries them up in the standard merge.
+* **Structured failure outcomes** — ``on_error="return"`` converts a
+  per-item exception into a :class:`ParallelFailure` placeholder at
+  that item's position instead of raising, so orchestration layers
+  (the serving fleet's failover loop) can own recovery per item.
 
 Worker pools are cached per job count and reused across calls, so a
 sweep that calls :func:`parallel_map` hundreds of times pays the fork
@@ -38,6 +48,7 @@ import atexit
 import os
 import pickle
 import time
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.errors import ParallelError
@@ -47,11 +58,26 @@ __all__ = [
     "DEFAULT_RETRIES",
     "DEFAULT_BACKOFF_S",
     "JOBS_ENV_VAR",
+    "ParallelFailure",
     "resolve_jobs",
     "shard",
     "parallel_map",
     "shutdown_pools",
 ]
+
+
+@dataclass(frozen=True)
+class ParallelFailure:
+    """Placeholder for one item whose evaluation raised.
+
+    Returned (in the item's position) by ``parallel_map(...,
+    on_error="return")`` so a caller can tell exactly which items
+    failed, with what, without losing the survivors.
+    """
+
+    index: int            # position of the failed item in the input
+    error: str            # str(exception)
+    exc_type: str = "Exception"
 
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -154,6 +180,48 @@ def _run_chunk(payload):
     return [fn(item) for item in chunk], None
 
 
+def _eval_items(fn, items, on_error: str, base: int = 0) -> list:
+    """In-process evaluation honoring the ``on_error`` policy.
+
+    ``base`` is the global index of ``items[0]`` so a chunk's failures
+    report input positions, not chunk-local ones.
+    """
+    if on_error == "raise":
+        return [fn(item) for item in items]
+    out = []
+    for offset, item in enumerate(items):
+        try:
+            out.append(fn(item))
+        except Exception as exc:
+            out.append(ParallelFailure(
+                index=base + offset, error=str(exc),
+                exc_type=type(exc).__name__))
+    return out
+
+
+def _executor_counters():
+    """The executor's failure-handling counters, on the live registry.
+
+    Fetched lazily per call: worker processes reset their registry per
+    chunk, and these counters must land on whichever registry is live
+    so snapshot merges carry them to the parent like any other series.
+    """
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    return (
+        registry.counter(
+            "parallel_retries_total",
+            "Shard re-submissions after a failed or timed-out attempt"),
+        registry.counter(
+            "parallel_timeouts_total",
+            "Shard attempts that exceeded their wall-clock budget"),
+        registry.counter(
+            "parallel_pool_restarts_total",
+            "Worker pools discarded (and rebuilt) after a timeout"),
+    )
+
+
 def _in_worker() -> bool:
     """True when already inside a daemonic pool worker (no nesting)."""
     try:
@@ -215,6 +283,7 @@ def parallel_map(
     retries: int = DEFAULT_RETRIES,
     backoff_s: float = DEFAULT_BACKOFF_S,
     merge_obs: bool = True,
+    on_error: str = "raise",
 ) -> list:
     """``[fn(x) for x in items]``, fanned out over a process pool.
 
@@ -224,7 +293,9 @@ def parallel_map(
     Worker exceptions are retried per shard and, after ``retries``
     re-submissions, re-raised from an in-process serial evaluation of
     that shard — so a deterministic error in ``fn`` surfaces with its
-    natural traceback no matter the degree.
+    natural traceback no matter the degree.  With ``on_error="return"``
+    they are not re-raised: each failing item yields a
+    :class:`ParallelFailure` in its position instead.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
@@ -232,16 +303,20 @@ def parallel_map(
         raise ParallelError("retries must be >= 0, got %d" % retries)
     if timeout_s is not None and timeout_s <= 0:
         raise ParallelError("timeout_s must be positive or None")
+    if on_error not in ("raise", "return"):
+        raise ParallelError(
+            "on_error must be 'raise' or 'return', got %r" % (on_error,))
     if jobs <= 1 or len(items) < 2 or _in_worker():
-        return [fn(item) for item in items]
+        return _eval_items(fn, items, on_error)
     try:
         pickle.dumps(fn)
     except Exception:
         # Closures, lambdas, locally-defined callables: stay serial.
-        return [fn(item) for item in items]
+        return _eval_items(fn, items, on_error)
     pool = _get_pool(jobs)
     if pool is None:
-        return [fn(item) for item in items]
+        return _eval_items(fn, items, on_error)
+    retry_counter, timeout_counter, restart_counter = _executor_counters()
 
     chunks = shard(items, jobs * _SHARDS_PER_WORKER)
     merge_from = None
@@ -252,6 +327,11 @@ def parallel_map(
         merge_from = merge_worker_snapshot
         region_start_s = get_tracer().now_s()
 
+    bases = []
+    next_base = 0
+    for chunk in chunks:
+        bases.append(next_base)
+        next_base += len(chunk)
     pending = [pool.apply_async(_run_chunk, ((fn, chunk, merge_obs),))
                for chunk in chunks]
     results: List[list] = [None] * len(chunks)
@@ -260,6 +340,7 @@ def parallel_map(
         for attempt in range(retries + 1):
             handle = pending[index] if attempt == 0 else None
             if handle is None:
+                retry_counter.inc()
                 time.sleep(backoff_s * (2 ** (attempt - 1)))
                 pool = _get_pool(jobs)
                 if pool is None:
@@ -273,6 +354,8 @@ def parallel_map(
                 if isinstance(exc, _timeout_error()):
                     # The worker may be wedged mid-task; a retry on the
                     # same pool could queue behind it forever.
+                    timeout_counter.inc()
+                    restart_counter.inc()
                     _discard_pool(jobs)
                     pending = pending[:index + 1] + [None] * (
                         len(chunks) - index - 1)
@@ -280,9 +363,11 @@ def parallel_map(
         if outcome is None:
             # Retries exhausted (or the pool died): evaluate this shard
             # in-process.  A deterministic exception in fn surfaces
-            # here with its natural traceback; telemetry lands directly
-            # on the live surfaces.
-            results[index] = [fn(item) for item in chunk]
+            # here with its natural traceback (or as ParallelFailure
+            # placeholders under on_error="return"); telemetry lands
+            # directly on the live surfaces.
+            results[index] = _eval_items(fn, chunk, on_error,
+                                         base=bases[index])
             continue
         chunk_results, obs_snapshot = outcome
         if merge_from is not None and obs_snapshot is not None:

@@ -16,6 +16,14 @@ Degradation is graceful at both stages: a backend whose planning or
 prediction raises is skipped (the naive-direct backend always plans), and
 a backend whose *functional* execution raises falls back to the naive
 backend for that request, which is re-priced accordingly.
+
+Transient build failures get a third, distinct treatment: a plan build
+that raises :class:`~repro.errors.TransientBackendError` — a modeled
+flaky toolchain/driver hiccup, or an injected ``build-fail`` fault from
+an installed chaos plan — is retried up to ``plan_retries`` times
+(``dispatch_plan_retries_total`` counts the attempts) before the error
+surfaces.  The backoff between attempts is virtual, like every other
+latency in the model — retries are counted, not slept.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ import numpy as np
 
 from repro.conv.reference import conv2d_reference
 from repro.conv.tensors import ConvProblem
-from repro.errors import ReproError
+from repro.errors import ReproError, TransientBackendError
 from repro.gpu.arch import GPUArchitecture, KEPLER_K40M
 from repro.gpu.timing import TimingBreakdown, TimingModel
 from repro.kernels import BackendRegistry, default_registry
@@ -109,6 +117,8 @@ class Dispatcher:
         tracer: Optional[Tracer] = None,
         jobs: Optional[Union[int, str]] = None,
         kernels: Optional[BackendRegistry] = None,
+        chaos=None,
+        plan_retries: int = 2,
     ):
         self.kernels = kernels if kernels is not None else default_registry()
         if backends is None:
@@ -138,6 +148,14 @@ class Dispatcher:
         self._exec_fallbacks = self.registry.counter(
             "dispatch_fallbacks_total",
             "Requests whose kernel execution degraded to naive")
+        self._plan_retries = self.registry.counter(
+            "dispatch_plan_retries_total",
+            "Plan builds retried after a transient backend failure")
+        if plan_retries < 0:
+            raise ReproError("plan_retries must be >= 0, got %d"
+                             % plan_retries)
+        self.plan_retries = plan_retries
+        self.chaos = chaos       # optional FaultInjector (build-fail hook)
         # The naive backend is the degradation target; it is always on
         # (the registry's ``available`` re-appends it when filtered out).
         self.backends = tuple(backends)
@@ -154,7 +172,7 @@ class Dispatcher:
         key = plan_key(problem, self.arch)
         if self.tracer is None:
             return self.cache.get_or_build(
-                key, lambda: self.build_plan(problem))
+                key, lambda: self.build_plan_retrying(problem))
         with self.tracer.span(
             "plan %dx%dx%d k%d" % (problem.height, problem.width,
                                    problem.channels, problem.kernel_size),
@@ -162,7 +180,7 @@ class Dispatcher:
         ) as args:
             cached = key in self.cache
             plan = self.cache.get_or_build(
-                key, lambda: self.build_plan(problem))
+                key, lambda: self.build_plan_retrying(problem))
             args["hit"] = cached
             args["backend"] = plan.backend
         return plan
@@ -187,8 +205,32 @@ class Dispatcher:
                 continue
             yield backend.name, kernel, config
 
+    def build_plan_retrying(self, problem: ConvProblem) -> KernelPlan:
+        """:meth:`build_plan` with bounded transient-failure retry.
+
+        A :class:`~repro.errors.TransientBackendError` (real or
+        injected) is retried up to ``plan_retries`` times; anything
+        else — and the final transient failure — surfaces unchanged.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.build_plan(problem)
+            except TransientBackendError:
+                if attempt >= self.plan_retries:
+                    raise
+                attempt += 1
+                self._plan_retries.inc()
+
     def build_plan(self, problem: ConvProblem) -> KernelPlan:
         """Autotune + price every candidate; pick the cheapest predicted."""
+        if self.chaos is not None:
+            from repro.chaos.plan import FaultKind
+
+            if self.chaos.take(FaultKind.BUILD_FAIL) is not None:
+                raise TransientBackendError(
+                    "injected transient plan-build failure for %r"
+                    % (problem,))
         best = None
         candidates = {}
         for name, kernel, config in self._candidates(problem):

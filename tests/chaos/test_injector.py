@@ -1,0 +1,95 @@
+"""Tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.chaos import FaultInjector, FaultKind, FaultPlan
+from repro.errors import ChaosError
+
+
+def injector(spec, n_replicas=4, seed=None):
+    return FaultInjector(FaultPlan.parse(spec, seed=seed), n_replicas)
+
+
+class TestReplicaPinning:
+    def test_unpinned_replica_fault_gets_a_seeded_replica(self):
+        inj = injector("crash", seed=3)
+        assert inj.specs[0].replica in range(4)
+
+    def test_pinning_is_a_pure_function_of_plan_and_fleet_size(self):
+        a = injector("crash;wedge;slow", seed=11)
+        b = injector("crash;wedge;slow", seed=11)
+        assert [s.replica for s in a.specs] == [s.replica for s in b.specs]
+
+    def test_event_faults_are_never_pinned(self):
+        inj = injector("build-fail;cache-corrupt", seed=3)
+        assert all(spec.replica is None for spec in inj.specs)
+
+    def test_needs_at_least_one_replica(self):
+        with pytest.raises(ChaosError, match="replica"):
+            FaultInjector(FaultPlan.parse("crash"), 0)
+
+
+class TestReplicaDirectives:
+    def test_fault_fires_times_attempts_then_recovers(self):
+        inj = injector("crash:replica=1,times=2")
+        assert inj.replica_directives(1)["fault"] == "crash"
+        assert inj.replica_directives(1)["fault"] == "crash"
+        assert inj.replica_directives(1) is None
+
+    def test_other_replicas_unaffected(self):
+        inj = injector("crash:replica=1")
+        assert inj.replica_directives(0) is None
+        assert inj.replica_directives(2) is None
+
+    def test_crash_carries_after_and_slow_carries_factor(self):
+        inj = injector("crash:replica=0,after=7;slow:replica=1,factor=6")
+        assert inj.replica_directives(0) == {"fault": "crash", "after": 7}
+        assert inj.replica_directives(1) == {"fault": "slow", "factor": 6.0}
+
+    def test_crash_beats_wedge_beats_slow(self):
+        inj = injector("slow:replica=0;wedge:replica=0;crash:replica=0")
+        first = inj.replica_directives(0)
+        assert first["fault"] == "crash"
+        # The losing faults were not consumed: they fire on later attempts.
+        assert inj.replica_directives(0)["fault"] == "wedge"
+        assert inj.replica_directives(0)["fault"] == "slow"
+        assert inj.replica_directives(0) is None
+
+    def test_obs_drop_composes_with_other_faults(self):
+        inj = injector("slow:replica=0;obs-drop:replica=0")
+        directives = inj.replica_directives(0)
+        assert directives["fault"] == "slow"
+        assert directives["drop_obs"] is True
+
+
+class TestEventFaults:
+    def test_take_fires_on_nth_event(self):
+        inj = injector("build-fail:nth=3")
+        assert inj.take(FaultKind.BUILD_FAIL) is None
+        assert inj.take(FaultKind.BUILD_FAIL) is None
+        assert inj.take(FaultKind.BUILD_FAIL) is not None
+        assert inj.take(FaultKind.BUILD_FAIL) is None
+
+    def test_times_fires_consecutive_events(self):
+        inj = injector("cache-corrupt:times=2")
+        assert inj.take(FaultKind.CACHE_CORRUPT) is not None
+        assert inj.take(FaultKind.CACHE_CORRUPT) is not None
+        assert inj.take(FaultKind.CACHE_CORRUPT) is None
+
+    def test_kinds_count_events_independently(self):
+        inj = injector("build-fail;version-skew:nth=2")
+        assert inj.take(FaultKind.VERSION_SKEW) is None
+        assert inj.take(FaultKind.BUILD_FAIL) is not None
+        assert inj.take(FaultKind.VERSION_SKEW) is not None
+
+
+class TestFiringReport:
+    def test_fired_and_unfired_account_declared_faults(self):
+        inj = injector("crash:replica=1,times=2;wedge:replica=7")
+        inj.replica_directives(1)
+        report = inj.fired()
+        assert report[0]["fired"] == 1 and report[0]["declared"] == 2
+        assert inj.total_fired == 1
+        # A fault targeting a replica beyond the fleet never fires; the
+        # report exposes it instead of silently passing the run.
+        assert "wedge:replica=7" in inj.unfired()

@@ -1,0 +1,102 @@
+"""Tests for the canned fault matrices and the chaos gate report.
+
+Full-matrix replays belong to ``repro chaos`` (the CI chaos-gate job);
+here we run single small scenarios and check the report machinery, so
+the tier-1 suite stays fast.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import FaultKind, FaultPlan
+from repro.chaos.matrix import (
+    MATRICES,
+    format_chaos_report,
+    run_matrix,
+    run_scenario,
+)
+from repro.errors import ChaosError
+
+
+def scenario(name, matrix="ci"):
+    for row in MATRICES[matrix]:
+        if row["name"] == name:
+            return row
+    raise AssertionError("no scenario %r in matrix %r" % (name, matrix))
+
+
+class TestMatrixDefinitions:
+    def test_every_spec_parses(self):
+        for rows in MATRICES.values():
+            for row in rows:
+                assert len(FaultPlan.parse(row["chaos"])) >= 1
+
+    def test_ci_matrix_declares_every_kind(self):
+        declared = {kind for row in MATRICES["ci"] for kind in row["kinds"]}
+        assert declared == {kind.value for kind in FaultKind}
+
+    def test_full_matrix_includes_the_10k_acceptance_replay(self):
+        assert scenario("combined-10k", "full")["n_requests"] == 10_000
+
+    def test_unknown_matrix_names_the_known_ones(self):
+        with pytest.raises(ChaosError, match="ci"):
+            run_matrix("bogus")
+
+
+class TestRunScenario:
+    def test_crash_scenario_passes_and_is_json_shaped(self):
+        outcome = run_scenario(scenario("crash-failover"), seed=1234)
+        json.dumps(outcome)
+        assert outcome["passed"], outcome["checks"]
+        assert outcome["lost"] == 0
+        assert outcome["mismatched"] == 0
+        assert outcome["failovers"] > 0
+        assert outcome["checks"]["deterministic"]
+
+    def test_obs_drop_scenario_passes(self):
+        outcome = run_scenario(scenario("obs-drop-tolerated"), seed=1234)
+        assert outcome["passed"], outcome["checks"]
+        assert outcome["obs_dropped"] > 0
+
+    def test_unfired_fault_fails_the_scenario(self):
+        # A fault pinned to a replica beyond the fleet never fires; the
+        # gate must flag the hole instead of passing vacuously.
+        row = dict(scenario("crash-failover"),
+                   name="crash-out-of-fleet", chaos="crash:replica=9",
+                   expect_failovers=False)
+        outcome = run_scenario(row, seed=1234)
+        assert not outcome["passed"]
+        assert outcome["kinds_missing"] == ["crash"]
+        assert not outcome["checks"]["declared_kinds_fired"]
+        assert "crash:replica=9" in outcome["unfired"]
+
+
+class TestReportFormat:
+    def test_format_names_every_scenario_and_verdict(self):
+        outcome = run_scenario(scenario("crash-failover"), seed=1234)
+        report = {
+            "matrix": "ci", "seed": 1234, "scenarios": [outcome],
+            "requests": outcome["requests"],
+            "kinds_covered": ["crash"],
+            "kinds_declared": sorted(k.value for k in FaultKind),
+            "passed": outcome["passed"],
+        }
+        text = format_chaos_report(report)
+        assert "chaos matrix 'ci' (seed 1234): PASS" in text
+        assert "crash-failover" in text
+        assert "fault kinds covered   : crash" in text
+
+    def test_format_surfaces_failed_checks(self):
+        row = dict(scenario("crash-failover"),
+                   name="crash-out-of-fleet", chaos="crash:replica=9")
+        outcome = run_scenario(row, seed=1234)
+        report = {
+            "matrix": "ci", "seed": 1234, "scenarios": [outcome],
+            "requests": outcome["requests"], "kinds_covered": [],
+            "kinds_declared": [], "passed": False,
+        }
+        text = format_chaos_report(report)
+        assert "FAIL" in text
+        assert "failed checks:" in text
+        assert "declared but unfired: crash:replica=9" in text

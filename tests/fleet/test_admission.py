@@ -18,11 +18,13 @@ def make_request(req_id, arrival_s=0.0, priority="standard",
                        priority=priority, deadline_s=deadline_s)
 
 
-def controller(replicas=2, queue_depth=2, window_s=1e-3, registry=None):
+def controller(replicas=2, queue_depth=2, window_s=1e-3, registry=None,
+               **kwargs):
     registry = registry if registry is not None else Registry()
     return AdmissionController(
         FleetRouter(replicas, registry=registry),
-        queue_depth=queue_depth, window_s=window_s, registry=registry)
+        queue_depth=queue_depth, window_s=window_s, registry=registry,
+        **kwargs)
 
 
 class TestAdmission:
@@ -120,3 +122,75 @@ class TestAccounting:
         ctl.admit(make_request(0, arrival_s=0.0))
         ctl.admit(make_request(1, arrival_s=0.0))
         assert registry.get("fleet_queue_depth").value(replica="0") == 2
+
+
+class TestEdgeCases:
+    def test_arrival_exactly_at_window_boundary_frees_capacity(self):
+        # The occupancy window is half-open, (t - window_s, t]: an
+        # arrival exactly window_s after the previous one sees it as
+        # already flushed.
+        ctl = controller(replicas=1, queue_depth=1, window_s=1e-3)
+        assert ctl.admit(make_request(0, arrival_s=0.0)) == 0
+        assert ctl.admit(make_request(1, arrival_s=1e-3)) == 0
+        assert ctl.shed == 0
+
+    def test_arrival_just_inside_window_still_occupies(self):
+        ctl = controller(replicas=1, queue_depth=1, window_s=1e-3)
+        assert ctl.admit(make_request(0, arrival_s=0.0)) == 0
+        assert ctl.admit(make_request(1, arrival_s=1e-3 - 1e-9)) is None
+        assert ctl.shed_records[-1].reason == "overload"
+
+    def test_zero_remaining_deadline_is_expired(self):
+        # deadline == arrival: zero budget left, serving is pointless.
+        ctl = controller()
+        assert ctl.admit(
+            make_request(0, arrival_s=1.0, deadline_s=1.0)) is None
+        assert ctl.shed_records[-1].reason == "expired"
+
+    def test_negative_remaining_deadline_is_expired(self):
+        ctl = controller()
+        assert ctl.admit(
+            make_request(0, arrival_s=2.0, deadline_s=1.5)) is None
+        assert ctl.shed_records[-1].reason == "expired"
+
+    def test_expired_wins_over_overload(self):
+        # A request that is both expired AND arriving into a full fleet
+        # sheds as "expired": deadline checks precede routing, so the
+        # record blames the cause the operator can actually fix.
+        ctl = controller(replicas=1, queue_depth=1)
+        assert ctl.admit(make_request(0, arrival_s=0.0)) == 0
+        late = make_request(1, arrival_s=0.0, deadline_s=-1.0)
+        assert ctl.admit(late) is None
+        assert ctl.shed_records[-1].reason == "expired"
+        assert ctl.stats()["shed_by_reason"] == {"expired/standard": 1}
+
+
+class TestShedRecordRingBuffer:
+    def test_detail_bounded_but_counters_exact(self):
+        ctl = controller(replicas=1, queue_depth=1, shed_record_cap=5)
+        ctl.admit(make_request(0))
+        for req_id in range(1, 13):
+            assert ctl.admit(make_request(req_id)) is None
+        assert ctl.shed == 12                      # aggregate stays exact
+        assert len(ctl.shed_records) == 5          # detail is bounded
+        # The ring keeps the newest records.
+        assert [r.req_id for r in ctl.shed_records] == [8, 9, 10, 11, 12]
+        assert ctl.stats()["shed_record_cap"] == 5
+
+    def test_default_cap_is_10k(self):
+        from repro.fleet import DEFAULT_SHED_RECORD_CAP
+
+        assert DEFAULT_SHED_RECORD_CAP == 10_000
+        assert controller().shed_record_cap == 10_000
+
+    def test_cap_validated(self):
+        with pytest.raises(ReproError, match="shed record cap"):
+            controller(shed_record_cap=0)
+
+    def test_record_abandoned_uses_failed_reason(self):
+        ctl = controller()
+        request = make_request(0)
+        assert ctl.admit(request) is not None
+        ctl.record_abandoned(request)
+        assert ctl.shed_records[-1].reason == "failed"
+        assert ctl.stats()["shed_by_reason"] == {"failed/standard": 1}

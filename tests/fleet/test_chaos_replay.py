@@ -1,0 +1,173 @@
+"""Integration tests: fleet replays under injected faults.
+
+The contract under test is the tentpole guarantee: with a chaos plan
+installed, every admitted-and-not-abandoned request is answered exactly
+once, bit-identically to a fault-free fleet, and two same-seed runs
+produce identical outcomes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import CHAOS_ENV, FaultInjector, FaultPlan
+from repro.errors import ReproError
+from repro.fleet import FleetConfig, FleetEngine
+from repro.serve import synthetic_trace
+
+
+def trace(n=80, seed=5, **kwargs):
+    return synthetic_trace(n, seed=seed, **kwargs)
+
+
+def fleet(replicas=4, chaos=None, **kwargs):
+    kwargs.setdefault("queue_depth", 256)
+    return FleetEngine(FleetConfig(replicas=replicas, **kwargs),
+                       chaos=chaos)
+
+
+def digests(result):
+    return {r.req_id: (r.backend, r.output.tobytes())
+            for r in result.responses if r is not None}
+
+
+class TestBitIdenticalUnderFaults:
+    @pytest.mark.parametrize("spec", [
+        "crash:replica=1",
+        "crash:replica=1,after=5",
+        "wedge:replica=3",
+        "slow:replica=0,factor=8",
+        "obs-drop:replica=1",
+        "build-fail:times=2",
+    ])
+    def test_single_fault_outputs_match_baseline(self, spec):
+        reqs = trace(60)
+        baseline = digests(fleet().serve_trace(trace(60)))
+        chaotic = fleet(chaos="seed=1;" + spec).serve_trace(reqs)
+        got = digests(chaotic)
+        assert got, "chaotic fleet served nothing"
+        for req_id, payload in got.items():
+            assert payload == baseline[req_id]
+
+    def test_nothing_lost_nothing_duplicated(self):
+        engine = fleet(chaos="seed=1;crash:replica=1;wedge:replica=3")
+        result = engine.serve_trace(trace(100))
+        answered = [r.req_id for r in result.responses if r is not None]
+        assert len(answered) == len(set(answered))
+        shed_ids = {r.req_id for r in result.shed}
+        assert len(answered) + len(shed_ids) == 100
+        assert result.failovers >= 2
+
+    def test_same_seed_runs_are_identical(self):
+        def run():
+            engine = fleet(
+                chaos="seed=7;crash:replica=1,times=2;slow:factor=6")
+            result = engine.serve_trace(trace(70, seed=9))
+            return (digests(result), result.failovers,
+                    [(r.req_id, r.reason) for r in result.shed])
+
+        assert run() == run()
+
+
+class TestFailover:
+    def test_crash_counts_a_failover_and_recovers(self):
+        engine = fleet(chaos="crash:replica=1")
+        result = engine.serve_trace(trace(60))
+        assert result.failovers == 1
+        stats = engine.health.stats(engine.clock_s)
+        assert stats["failovers_by_reason"] == {"crash": 1}
+        assert stats["failures_by_reason"] == {"1/crash": 1}
+        # The fault is spent: a second replay is fault-free.
+        assert fleet().serve_trace(trace(60)).failovers == 0
+        assert engine.serve_trace(trace(60, seed=8)).failovers == 0
+
+    def test_exhausted_failover_abandons_to_failed_shed(self):
+        # One replica, crash fires on every attempt: the shard runs out
+        # of failover rounds and every admitted request is accounted as
+        # a "failed" shed -- never silently lost.
+        engine = fleet(replicas=1, chaos="crash:replica=0,times=99",
+                       failover_retries=2)
+        reqs = trace(24)
+        result = engine.serve_trace(reqs)
+        assert result.served == 0
+        assert len(result.abandoned) > 0
+        assert result.served + result.shed_count == len(reqs)
+        assert all(r.reason == "failed" for r in result.abandoned)
+
+    def test_breaker_open_reroutes_before_dispatch(self):
+        engine = fleet(chaos="crash:replica=1,times=3",
+                       breaker_threshold=1, failover_retries=1,
+                       breaker_cooldown_s=1e9)
+        engine.serve_trace(trace(40))           # trips replica 1's breaker
+        result = engine.serve_trace(trace(40))  # shard re-homed pre-dispatch
+        assert result.served == 40
+        stats = engine.health.stats(engine.clock_s)
+        assert stats["failovers_by_reason"].get("breaker-open", 0) >= 1
+        assert stats["breakers"]["1"] == "open"
+
+    def test_obs_drop_served_and_counted(self):
+        engine = fleet(chaos="obs-drop:replica=1")
+        result = engine.serve_trace(trace(60))
+        assert result.served == 60
+        assert engine.health.obs_dropped == 1
+
+    def test_hedge_bounds_slow_replica_makespan(self):
+        slow = fleet(chaos="seed=2;slow:replica=1,factor=50")
+        hedged = fleet(chaos="seed=2;slow:replica=1,factor=50", hedge=True)
+        slow_result = slow.serve_trace(trace(60))
+        hedged_result = hedged.serve_trace(trace(60))
+        assert hedged_result.hedges == 1
+        assert hedged.clock_s < slow.clock_s
+        assert digests(hedged_result) == digests(slow_result)
+
+
+class TestClockAndConfig:
+    def test_advance_clock_moves_epoch_and_rejects_negative(self):
+        engine = fleet()
+        assert engine.advance_clock(0.25) == pytest.approx(0.25)
+        assert engine.clock_s == pytest.approx(0.25)
+        with pytest.raises(ReproError, match="advance"):
+            engine.advance_clock(-1.0)
+
+    def test_chaos_accepts_plan_and_injector(self):
+        plan = FaultPlan.parse("seed=3;crash")
+        assert fleet(chaos=plan).chaos.plan == plan
+        inj = FaultInjector(plan, 4)
+        assert fleet(chaos=inj).chaos is inj
+        with pytest.raises(ReproError, match="chaos"):
+            fleet(chaos=123)
+
+    def test_env_plan_picked_up(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "seed=4;crash:replica=1")
+        engine = fleet()
+        assert engine.chaos is not None
+        assert engine.serve_trace(trace(60)).failovers == 1
+
+    def test_chaosless_engine_has_no_injector(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        assert fleet().chaos is None
+
+    def test_resilience_config_validated(self):
+        for bad in (dict(failover_retries=-1), dict(retry_backoff_s=-1.0),
+                    dict(breaker_threshold=0), dict(breaker_cooldown_s=0.0),
+                    dict(plan_retries=-1), dict(hedge_factor=1.0),
+                    dict(shed_record_cap=0)):
+            with pytest.raises(ReproError):
+                FleetConfig(**bad)
+
+    def test_shed_record_cap_flows_to_admission(self):
+        engine = fleet(replicas=1, queue_depth=1, shed_record_cap=3)
+        engine.serve_trace(trace(40))
+        assert len(engine.admission.shed_records) == 3
+        assert engine.admission.shed == 40 - engine.admission.admitted
+
+
+class TestStatsSurface:
+    def test_stats_report_health_and_degradation(self):
+        engine = fleet(chaos="crash:replica=1")
+        engine.serve_trace(trace(60))
+        snap = engine.stats()
+        assert snap["degradation"] == "degraded"
+        assert snap["health"]["failovers"] == 1
+        healthy = fleet()
+        healthy.serve_trace(trace(60))
+        assert healthy.stats()["degradation"] == "healthy"

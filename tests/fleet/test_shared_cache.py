@@ -85,7 +85,8 @@ class TestSharedPlanCache:
         stats = SharedPlanCache().stats()
         assert set(stats) == {
             "capacity", "entries", "hits", "misses", "publishes",
-            "evictions", "invalidations", "hit_rate",
+            "evictions", "invalidations", "corruptions",
+            "version_skews", "hit_rate",
         }
 
     def test_entries_gauge_tracks_population(self):

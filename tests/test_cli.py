@@ -561,3 +561,60 @@ class TestBackendsMatrix:
                      "--audit", "--trajectory",
                      str(tmp_path / "t.json")]) == 0
         capsys.readouterr()
+
+
+class TestChaosCLI:
+    def _tiny_matrix(self, monkeypatch):
+        """Trim the matrices to one small scenario for test speed."""
+        import repro.chaos.matrix as matrix
+
+        tiny = {"ci": [row for row in matrix.MATRICES["ci"]
+                       if row["name"] == "crash-failover"]}
+        monkeypatch.setattr(matrix, "MATRICES", tiny)
+
+    def test_chaos_gate_passes_and_writes_report(self, capsys, tmp_path,
+                                                 monkeypatch):
+        import json
+
+        self._tiny_matrix(monkeypatch)
+        report_path = tmp_path / "chaos.json"
+        assert main(["chaos", "--seed", "1234",
+                     "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "chaos matrix 'ci' (seed 1234): PASS" in out
+        assert "crash-failover" in out
+        report = json.loads(report_path.read_text())
+        assert report["passed"] is True
+        assert report["seed"] == 1234
+        assert "crash" in report["kinds_covered"]
+
+    def test_chaos_json_output(self, capsys, monkeypatch):
+        import json
+
+        self._tiny_matrix(monkeypatch)
+        assert main(["chaos", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["matrix"] == "ci"
+        assert report["scenarios"][0]["name"] == "crash-failover"
+
+    def test_chaos_failure_exits_1(self, capsys, monkeypatch):
+        import repro.chaos.matrix as matrix
+
+        broken = dict(matrix.MATRICES["ci"][0],
+                      name="crash-out-of-fleet", chaos="crash:replica=9")
+        monkeypatch.setattr(matrix, "MATRICES", {"ci": [broken]})
+        assert main(["chaos"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_serve_with_chaos_spec(self, capsys):
+        assert main(["serve", "--synthetic", "60", "--chaos",
+                     "seed=1;crash:replica=1", "--replicas", "4",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out
+        assert "all 60 served responses match the reference" in out
+
+    def test_serve_bad_chaos_spec_exits_2(self, capsys):
+        assert main(["serve", "--synthetic", "10", "--chaos",
+                     "explode"]) == 2
+        assert "chaos" in capsys.readouterr().err
